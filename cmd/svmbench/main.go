@@ -1,0 +1,76 @@
+// Command svmbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	svmbench -exp all                 # every experiment
+//	svmbench -exp fig3                # one experiment
+//	svmbench -exp fig4,table5         # a comma-separated subset
+//	svmbench -exp fig3 -scale 0.5 -v  # smaller datasets, with progress logs
+//
+// Each experiment prints an aligned table; EXPERIMENTS.md in the repository
+// root records a captured run next to the paper's numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or \"all\", comma-separated")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 1.0, "multiply default dataset scales (smaller = faster)")
+		eps     = flag.Float64("eps", 1e-3, "solver tolerance epsilon")
+		workers = flag.Int("baseline-workers", 16, "libsvm-enhanced worker count (the paper's 16 cores)")
+		verbose = flag.Bool("v", false, "log progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Scale:           *scale,
+		Eps:             *eps,
+		BaselineWorkers: *workers,
+		Verbose:         *verbose,
+		Log:             os.Stderr,
+	}
+
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svmbench: %s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		rep.Print(os.Stdout)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

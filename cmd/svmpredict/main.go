@@ -1,0 +1,87 @@
+// Command svmpredict classifies a libsvm-format dataset with a trained
+// model and reports accuracy when labels are present.
+//
+//	svmpredict -model svm.model -data test.libsvm -out predictions.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "svmpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		modelPath = flag.String("model", "svm.model", "model file from svmtrain")
+		dataPath  = flag.String("data", "", "data in libsvm format (labels used for accuracy)")
+		outPath   = flag.String("out", "", "optional predictions output file (one ±1 per line)")
+		decisions = flag.Bool("decision-values", false, "write raw decision values instead of labels")
+		probs     = flag.Bool("prob", false, "write calibrated probabilities (model must be trained with -probability)")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	m, err := model.Load(*modelPath)
+	if err != nil {
+		return err
+	}
+	x, y, err := dataset.LoadLibsvmFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	m.WarmNorms()
+
+	var out *bufio.Writer
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = bufio.NewWriter(f)
+		defer out.Flush()
+	}
+
+	if *probs && !m.HasProb {
+		return fmt.Errorf("model has no probability parameters; train with svmtrain -probability")
+	}
+	correct := 0
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		dv := m.DecisionValue(row)
+		pred := 1.0
+		if dv < 0 {
+			pred = -1
+		}
+		if pred == y[i] {
+			correct++
+		}
+		if out != nil {
+			switch {
+			case *probs:
+				p, _ := m.Probability(row)
+				fmt.Fprintf(out, "%.6f\n", p)
+			case *decisions:
+				fmt.Fprintf(out, "%v\n", dv)
+			default:
+				fmt.Fprintf(out, "%+g\n", pred)
+			}
+		}
+	}
+	fmt.Printf("accuracy = %.4f%% (%d/%d) with %d support vectors\n",
+		100*float64(correct)/float64(max(1, x.Rows())), correct, x.Rows(), m.NumSV())
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command svmscale linearly rescales libsvm-format feature files, the
+// role of libsvm's svm-scale companion. Fit ranges on the training set and
+// reuse them (-restore) for the testing set so both see the same mapping:
+//
+//	svmscale -data train.libsvm -out train.scaled -save ranges.txt
+//	svmscale -data test.libsvm  -out test.scaled  -restore ranges.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "svmscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataPath = flag.String("data", "", "input data in libsvm format")
+		outPath  = flag.String("out", "", "scaled output path")
+		lo       = flag.Float64("lower", -1, "target range lower bound")
+		hi       = flag.Float64("upper", 1, "target range upper bound")
+		save     = flag.String("save", "", "write fitted ranges to this file")
+		restore  = flag.String("restore", "", "reuse ranges from this file instead of fitting")
+	)
+	flag.Parse()
+	if *dataPath == "" || *outPath == "" {
+		return fmt.Errorf("-data and -out are required")
+	}
+	if *save != "" && *restore != "" {
+		return fmt.Errorf("use either -save or -restore, not both")
+	}
+
+	x, y, err := dataset.LoadLibsvmFile(*dataPath)
+	if err != nil {
+		return err
+	}
+
+	var s *dataset.Scaler
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			return err
+		}
+		s, err = dataset.ReadScaler(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		s, err = dataset.FitScaler(x, *lo, *hi)
+		if err != nil {
+			return err
+		}
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				return err
+			}
+			if err := s.Write(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+
+	scaled := s.Apply(x)
+	if err := dataset.SaveLibsvmFile(*outPath, scaled, y); err != nil {
+		return err
+	}
+	fmt.Printf("scaled %d samples (%d -> %d nonzeros) into [%g, %g]; wrote %s\n",
+		scaled.Rows(), x.NNZ(), scaled.NNZ(), s.Lo, s.Hi, *outPath)
+	return nil
+}

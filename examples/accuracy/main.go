@@ -1,0 +1,67 @@
+// Accuracy parity (the paper's Table V): the distributed solver with an
+// aggressive shrinking heuristic, executed for real across several ranks,
+// must match the libsvm-enhanced baseline on held-out test sets — the
+// whole point of the gradient-reconstruction machinery.
+//
+// Run with:
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/smo"
+)
+
+func main() {
+	fmt.Printf("%-10s %10s %14s %14s %8s\n", "dataset", "samples", "ours (%)", "libsvm (%)", "delta")
+	for _, spec := range []struct {
+		name  string
+		scale float64
+	}{
+		{"a9a", 0.08},
+		{"usps", 0.2},
+		{"mnist38", 0.04},
+		{"codrna", 0.03},
+		{"w7a", 0.08},
+	} {
+		ds := dataset.MustGenerate(spec.name, spec.scale)
+		kp := kernel.FromSigma2(ds.Sigma2)
+
+		// The proposed solver: aggressive shrinking, 4 ranks, for real.
+		ours, _, err := core.TrainParallel(ds.X, ds.Y, 4, core.Config{
+			Kernel: kp, C: ds.C, Eps: 1e-3, Heuristic: core.Multi5pc,
+		})
+		if err != nil {
+			log.Fatalf("%s core: %v", spec.name, err)
+		}
+		oursAcc, err := ours.Evaluate(ds.TestX, ds.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// libsvm-enhanced: cache + shrinking + parallel gradient updates.
+		base, err := smo.Train(ds.X, ds.Y, smo.Config{
+			Kernel: kp, C: ds.C, Eps: 1e-3, Workers: 4,
+			CacheBytes: 1 << 30, Shrinking: true,
+		})
+		if err != nil {
+			log.Fatalf("%s smo: %v", spec.name, err)
+		}
+		baseAcc, err := base.Model.Evaluate(ds.TestX, ds.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-10s %10d %14.2f %14.2f %+8.2f\n",
+			spec.name, ds.Train(), oursAcc.Accuracy, baseAcc.Accuracy,
+			oursAcc.Accuracy-baseAcc.Accuracy)
+	}
+	fmt.Println("\npaper's Table V reports the same parity: e.g. MNIST 98.9 vs 98.62,")
+	fmt.Println("w7a 98.82 vs 98.9 — shrinking costs no accuracy.")
+}

@@ -1,0 +1,62 @@
+// Sweep all thirteen Table II shrinking heuristics over one dataset and
+// watch what each one does: when it first shrinks, how often it
+// reconstructs gradients, how small the working set gets, and what that
+// means for modeled training time on a cluster.
+//
+// Run with:
+//
+//	go run ./examples/heuristics
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	ds := dataset.MustGenerate("codrna", 0.03) // slow-converging: shrinking shines
+	fmt.Printf("dataset: cod-rna stand-in, %d samples, C=%g, sigma^2=%g\n\n",
+		ds.Train(), ds.C, ds.Sigma2)
+	machine := perfmodel.Calibrate(kernel.FromSigma2(ds.Sigma2), ds.X, 30*time.Millisecond)
+
+	const p = 64
+	factor := float64(dataset.Specs["codrna"].FullTrain) / float64(ds.Train())
+	fmt.Printf("%-12s %-13s %9s %8s %7s %12s %11s %7s %9s\n",
+		"heuristic", "class", "iters", "shrinks", "recons", "mean-active", "t(p=64) s", "gain", "test-acc")
+
+	var baseline float64
+	for _, h := range core.Table2() {
+		cfg := core.Config{
+			Kernel: kernel.FromSigma2(ds.Sigma2), C: ds.C, Eps: 1e-3,
+			Heuristic: h, RecordTrace: true, DatasetName: ds.Name,
+		}
+		m, st, err := core.TrainParallel(ds.X, ds.Y, 1, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", h.Name, err)
+		}
+		b, err := perfmodel.Evaluate(st.Trace.ScaledUp(factor), p, machine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := m.Evaluate(ds.TestX, ds.TestY)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if h.Name == "Original" {
+			baseline = b.Total()
+		}
+		fmt.Printf("%-12s %-13s %9d %8d %7d %11.0f%% %11.2f %6.2fx %8.2f%%\n",
+			h.Name, h.Class, st.Iterations, st.ShrinkEvents, st.Reconstructions,
+			100*st.Trace.MeanActiveFraction(), b.Total(), baseline/b.Total(), acc.Accuracy)
+	}
+
+	fmt.Println("\nEvery heuristic lands on the same accuracy — the gradient")
+	fmt.Println("reconstruction (Algorithm 3) repairs any premature elimination.")
+	fmt.Println("They differ only in how much iterative work they avoid.")
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Fatalf("ByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+	for _, want := range []string{"fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"table2", "table3", "table4", "table5"} {
+		if !seen[want] {
+			t.Errorf("missing paper exhibit %s", want)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id resolved")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Eps != 1e-3 || o.BaselineWorkers != 16 || o.Log == nil {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := Options{Scale: 0.5, Eps: 1e-2, BaselineWorkers: 4}.withDefaults()
+	if o2.Scale != 0.5 || o2.Eps != 1e-2 || o2.BaselineWorkers != 4 {
+		t.Fatalf("explicit options overridden: %+v", o2)
+	}
+}
+
+func TestReportPrint(t *testing.T) {
+	r := &Report{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "longcolumn"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  []string{"a note"},
+		Took:   1500 * time.Millisecond,
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "longcolumn", "333333", "note: a note", "1.5s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	o := Options{Scale: 0.2}.withDefaults()
+	ds, scale, err := loadDataset(o, "blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "blobs" || scale <= 0 {
+		t.Fatalf("ds=%v scale=%v", ds.Name, scale)
+	}
+	if _, _, err := loadDataset(o, "not-a-dataset"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+// TestTable3Fast regenerates the cheapest experiment end-to-end: it needs
+// no training, only the registry.
+func TestTable3Fast(t *testing.T) {
+	rep, err := RunTable3(Options{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 11 {
+		t.Fatalf("table3 has %d rows, want 11", len(rep.Rows))
+	}
+	// Spot-check the HIGGS row against Table III of the paper.
+	higgs := rep.Rows[0]
+	if higgs[0] != "higgs" || higgs[1] != "2600000" || higgs[5] != "32" || higgs[6] != "64" {
+		t.Fatalf("higgs row = %v", higgs)
+	}
+	// URL row: 2.3M samples, C=10, sigma^2=4.
+	url := rep.Rows[1]
+	if url[0] != "url" || url[1] != "2300000" || url[5] != "10" || url[6] != "4" {
+		t.Fatalf("url row = %v", url)
+	}
+}
+
+// TestValidateModelExperiment executes a real (small) multi-rank training
+// run and cross-checks the analytic model — the cheapest experiment that
+// exercises the full pipeline.
+func TestValidateModelExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a dataset; skipped with -short")
+	}
+	rep, err := RunValidateModel(Options{Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		ratio := row[3]
+		v, err := parseFloat(ratio)
+		if err != nil {
+			t.Fatalf("ratio cell %q", ratio)
+		}
+		if v < 0.3 || v > 3 {
+			t.Fatalf("model/executed ratio %v out of sanity range; row %v", v, row)
+		}
+	}
+}
+
+// TestFigure1Experiment checks the SV-fraction premise end to end.
+func TestFigure1Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains datasets; skipped with -short")
+	}
+	rep, err := RunFigure1(Options{Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		frac := strings.TrimSuffix(row[3], "%")
+		v, err := parseFloat(frac)
+		if err != nil {
+			t.Fatalf("fraction cell %q", row[3])
+		}
+		if v <= 0 || v >= 75 {
+			t.Fatalf("%s: SV fraction %v%% does not support the premise", row[0], v)
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

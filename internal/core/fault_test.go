@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/mpi"
+)
+
+// TestTrainSurvivesInjectedFault: when a rank's sends start failing
+// mid-training, Train must return an error on every rank (no deadlock, no
+// partial result), because the failing rank aborts the world.
+func TestTrainSurvivesInjectedFault(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.15)
+	cfg := blobCfg(ds, Multi5pc)
+	const p = 4
+	done := make(chan error, 1)
+	go func() {
+		opts := mpi.Options{SendFaults: map[int]int{2: 100}} // rank 2 dies after 100 sends
+		_, err := mpi.RunTimed(p, opts, func(c *mpi.Comm) error {
+			pt, err := NewPartition(ds.X, ds.Y, p, c.Rank())
+			if err != nil {
+				return err
+			}
+			_, _, err = Train(c, pt, cfg)
+			return err
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("training succeeded despite injected send fault")
+		}
+		if !strings.Contains(err.Error(), "injected send fault") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("training deadlocked after injected fault")
+	}
+}
+
+// TestTrainFaultDuringReconstruction injects the fault late enough that the
+// ring exchange of Algorithm 3 is in flight.
+func TestTrainFaultDuringReconstruction(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.15)
+	cfg := blobCfg(ds, Multi2) // aggressive: reconstructs early and often
+	const p = 3
+	// First count how many sends a healthy run needs, then inject at 60%.
+	var healthySends int
+	_, err := mpi.RunTimed(p, mpi.Options{}, func(c *mpi.Comm) error {
+		pt, err := NewPartition(ds.X, ds.Y, p, c.Rank())
+		if err != nil {
+			return err
+		}
+		if _, _, err := Train(c, pt, cfg); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			healthySends = c.Sends()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthySends < 10 {
+		t.Skipf("run too short to fault meaningfully (%d sends)", healthySends)
+	}
+	done := make(chan error, 1)
+	go func() {
+		opts := mpi.Options{SendFaults: map[int]int{0: healthySends * 6 / 10}}
+		_, err := mpi.RunTimed(p, opts, func(c *mpi.Comm) error {
+			pt, err := NewPartition(ds.X, ds.Y, p, c.Rank())
+			if err != nil {
+				return err
+			}
+			_, _, err = Train(c, pt, cfg)
+			return err
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("training succeeded despite injected fault")
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("training deadlocked after injected fault")
+	}
+}

@@ -1,0 +1,171 @@
+// Package core implements the paper's proposed distributed-memory SVM
+// algorithm: SMO with adaptive shrinking of non-contributing samples
+// (Algorithm 4 and 5) and distributed gradient reconstruction (Algorithm 3)
+// to keep the solution exact, running over the message-passing substrate in
+// internal/mpi. Algorithm 2 — the no-shrinking "Original" parallel solver —
+// is the same code path with shrinking disabled.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ReconMode selects the gradient-reconstruction policy of Table II.
+type ReconMode int
+
+const (
+	// ReconNone disables shrinking entirely (the Original algorithm).
+	ReconNone ReconMode = iota
+	// ReconSingle reconstructs gradients exactly once, at the first
+	// convergence of the shrunk problem, then never shrinks again
+	// (Algorithm 4).
+	ReconSingle
+	// ReconMulti first synchronizes at 20*eps, re-admitting eliminated
+	// samples while still far from the solution, then reconstructs as many
+	// times as needed near 2*eps (Algorithm 5).
+	ReconMulti
+)
+
+// String names the mode as in Table II's gamma-reconstruction column.
+func (m ReconMode) String() string {
+	switch m {
+	case ReconNone:
+		return "None"
+	case ReconSingle:
+		return "Single"
+	case ReconMulti:
+		return "Multi"
+	default:
+		return fmt.Sprintf("ReconMode(%d)", int(m))
+	}
+}
+
+// Class is the paper's aggressiveness classification of a heuristic.
+type Class int
+
+const (
+	// ClassNone applies to the Original (no shrinking) algorithm.
+	ClassNone Class = iota
+	// ClassAggressive heuristics shrink early (the * rows of Table II).
+	ClassAggressive
+	// ClassAverage heuristics sit in between (the diamond rows).
+	ClassAverage
+	// ClassConservative heuristics shrink late (the bullet rows).
+	ClassConservative
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "n/a"
+	case ClassAggressive:
+		return "aggressive"
+	case ClassAverage:
+		return "average"
+	case ClassConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Heuristic is one row of Table II: when shrinking first happens (a fixed
+// "random" iteration count or a fraction of the sample count) and how
+// gradients are reconstructed.
+type Heuristic struct {
+	Name  string
+	Recon ReconMode
+	// InitialIters > 0 sets the first shrinking check after that many
+	// iterations (Table II's "random: k" rows, after Lin et al.).
+	InitialIters int64
+	// InitialFrac > 0 sets the first shrinking check after
+	// InitialFrac * N iterations (Table II's "numsamples: x%" rows).
+	InitialFrac float64
+	Class       Class
+}
+
+// Shrinks reports whether the heuristic performs any shrinking.
+func (h Heuristic) Shrinks() bool { return h.Recon != ReconNone }
+
+// InitialThreshold returns the iteration count of the first shrinking
+// check for a dataset with n samples (the paper's delta). The Original
+// heuristic returns a value no run will reach (n = infinity in the paper's
+// notation).
+func (h Heuristic) InitialThreshold(n int) int64 {
+	switch {
+	case !h.Shrinks():
+		return math.MaxInt64
+	case h.InitialIters > 0:
+		return h.InitialIters
+	default:
+		t := int64(h.InitialFrac * float64(n))
+		if t < 1 {
+			t = 1
+		}
+		return t
+	}
+}
+
+// Validate checks internal consistency.
+func (h Heuristic) Validate() error {
+	if h.Recon == ReconNone {
+		if h.InitialIters != 0 || h.InitialFrac != 0 {
+			return fmt.Errorf("core: heuristic %s: no-shrinking mode with a threshold", h.Name)
+		}
+		return nil
+	}
+	if (h.InitialIters > 0) == (h.InitialFrac > 0) {
+		return fmt.Errorf("core: heuristic %s: exactly one of InitialIters/InitialFrac must be set", h.Name)
+	}
+	if h.InitialFrac < 0 || h.InitialFrac > 1 {
+		return fmt.Errorf("core: heuristic %s: InitialFrac %v out of [0,1]", h.Name, h.InitialFrac)
+	}
+	return nil
+}
+
+// Original is Table II row 1: the default no-shrinking parallel algorithm.
+var Original = Heuristic{Name: "Original", Recon: ReconNone, Class: ClassNone}
+
+// The thirteen heuristics of Table II.
+var (
+	Single2    = Heuristic{Name: "Single2", Recon: ReconSingle, InitialIters: 2, Class: ClassAggressive}
+	Single500  = Heuristic{Name: "Single500", Recon: ReconSingle, InitialIters: 500, Class: ClassAggressive}
+	Single1000 = Heuristic{Name: "Single1000", Recon: ReconSingle, InitialIters: 1000, Class: ClassAverage}
+	Single5pc  = Heuristic{Name: "Single5pc", Recon: ReconSingle, InitialFrac: 0.05, Class: ClassAggressive}
+	Single10pc = Heuristic{Name: "Single10pc", Recon: ReconSingle, InitialFrac: 0.10, Class: ClassAverage}
+	Single50pc = Heuristic{Name: "Single50pc", Recon: ReconSingle, InitialFrac: 0.50, Class: ClassConservative}
+	Multi2     = Heuristic{Name: "Multi2", Recon: ReconMulti, InitialIters: 2, Class: ClassAggressive}
+	Multi500   = Heuristic{Name: "Multi500", Recon: ReconMulti, InitialIters: 500, Class: ClassAggressive}
+	Multi1000  = Heuristic{Name: "Multi1000", Recon: ReconMulti, InitialIters: 1000, Class: ClassAverage}
+	Multi5pc   = Heuristic{Name: "Multi5pc", Recon: ReconMulti, InitialFrac: 0.05, Class: ClassAggressive}
+	Multi10pc  = Heuristic{Name: "Multi10pc", Recon: ReconMulti, InitialFrac: 0.10, Class: ClassAverage}
+	Multi50pc  = Heuristic{Name: "Multi50pc", Recon: ReconMulti, InitialFrac: 0.50, Class: ClassConservative}
+)
+
+// Table2 returns all heuristics of Table II in row order, Original first.
+func Table2() []Heuristic {
+	return []Heuristic{
+		Original,
+		Single2, Single500, Single1000, Single5pc, Single10pc, Single50pc,
+		Multi2, Multi500, Multi1000, Multi5pc, Multi10pc, Multi50pc,
+	}
+}
+
+// HeuristicByName resolves a Table II heuristic by its name
+// (case-sensitive, as printed in the paper).
+func HeuristicByName(name string) (Heuristic, error) {
+	for _, h := range Table2() {
+		if h.Name == name {
+			return h, nil
+		}
+	}
+	var names []string
+	for _, h := range Table2() {
+		names = append(names, h.Name)
+	}
+	sort.Strings(names)
+	return Heuristic{}, fmt.Errorf("core: unknown heuristic %q (have %v)", name, names)
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/sparse"
+)
+
+// EvaluateParallel scores a labeled set with a trained model across p
+// ranks: each rank classifies a block of rows and the confusion counts are
+// combined with an Allreduce. Classification is embarrassingly parallel —
+// this is how the testing-accuracy numbers are produced for large test
+// sets (cod-rna's published test split alone has 271617 samples).
+func EvaluateParallel(m *model.Model, x *sparse.Matrix, y []float64, p int) (model.Metrics, error) {
+	if m == nil {
+		return model.Metrics{}, fmt.Errorf("core: nil model")
+	}
+	if x.Rows() != len(y) {
+		return model.Metrics{}, fmt.Errorf("core: %d rows but %d labels", x.Rows(), len(y))
+	}
+	if p <= 0 {
+		return model.Metrics{}, fmt.Errorf("core: process count must be positive, got %d", p)
+	}
+	if p > x.Rows() {
+		p = x.Rows()
+	}
+	m.WarmNorms() // make concurrent DecisionValue calls safe
+	results := make([]model.Metrics, p)
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		lo, hi := BlockRange(x.Rows(), p, c.Rank())
+		counts := []int{0, 0, 0, 0} // TP, TN, FP, FN
+		for i := lo; i < hi; i++ {
+			pred := m.Predict(x.RowView(i))
+			switch {
+			case pred > 0 && y[i] > 0:
+				counts[0]++
+			case pred < 0 && y[i] < 0:
+				counts[1]++
+			case pred > 0 && y[i] < 0:
+				counts[2]++
+			default:
+				counts[3]++
+			}
+		}
+		total, err := mpi.Allreduce(c, counts, sumIntSlice)
+		if err != nil {
+			return err
+		}
+		mt := model.Metrics{
+			Total: x.Rows(),
+			TP:    total[0], TN: total[1], FP: total[2], FN: total[3],
+		}
+		mt.Correct = mt.TP + mt.TN
+		if mt.Total > 0 {
+			mt.Accuracy = 100 * float64(mt.Correct) / float64(mt.Total)
+		}
+		results[c.Rank()] = mt
+		return nil
+	})
+	if err != nil {
+		return model.Metrics{}, err
+	}
+	return results[0], nil
+}
+
+// sumIntSlice adds two equal-length int slices elementwise, allocating the
+// result so reduction inputs stay immutable (payloads are shared by
+// reference across ranks).
+func sumIntSlice(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestEvaluateParallelMatchesSequential(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.2)
+	m, _, err := TrainParallel(ds.X, ds.Y, 2, blobCfg(ds, Multi5pc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := m.Evaluate(ds.TestX, ds.TestY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 7} {
+		par, err := EvaluateParallel(m, ds.TestX, ds.TestY, p)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if par != seq {
+			t.Fatalf("p=%d: parallel metrics %+v != sequential %+v", p, par, seq)
+		}
+	}
+}
+
+func TestEvaluateParallelMorePThanRows(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.2)
+	m, _, err := TrainParallel(ds.X, ds.Y, 2, blobCfg(ds, Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := ds.TestX.SubMatrix(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := EvaluateParallel(m, small, ds.TestY[:3], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Total != 3 {
+		t.Fatalf("total = %d", mt.Total)
+	}
+}
+
+func TestEvaluateParallelValidation(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.1)
+	m, _, err := TrainParallel(ds.X, ds.Y, 2, blobCfg(ds, Original))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateParallel(nil, ds.TestX, ds.TestY, 2); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := EvaluateParallel(m, ds.TestX, ds.TestY[:5], 2); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if _, err := EvaluateParallel(m, ds.TestX, ds.TestY, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}

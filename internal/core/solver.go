@@ -1,0 +1,707 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/trace"
+)
+
+// Point-to-point tags used by the solver (collectives manage their own).
+const (
+	tagPairUp  = 1
+	tagPairLow = 2
+	tagRecon   = 3
+)
+
+// Config controls a distributed training run.
+type Config struct {
+	Kernel kernel.Params
+	C      float64
+	Eps    float64 // user-specified tolerance epsilon (Eq. 5)
+
+	// Heuristic selects the Table II shrinking strategy; the zero value
+	// is not valid — use Original for no shrinking.
+	Heuristic Heuristic
+
+	// SecondOrder switches working-set selection to libsvm's second-order
+	// rule: i_up stays the worst up-side violator, but its partner
+	// maximizes the analytic gain (gamma_up - gamma_j)^2 / eta_uj. Costs
+	// one extra MINLOC-style Allreduce per iteration and no extra kernel
+	// evaluations (K(x_up, .) values are shared between selection and the
+	// gradient update). The paper evaluates the maximal-violating-pair
+	// rule; this is the Keerthi et al. alternative, exposed for the
+	// working-set-selection ablation.
+	SecondOrder bool
+
+	// SubsequentFixed switches the subsequent shrinking threshold from
+	// the paper's default (the active working-set size, obtained with an
+	// MPI_Allreduce at each shrink step) to reusing the initial
+	// threshold. Exposed for the ablation bench.
+	SubsequentFixed bool
+
+	// FirstSyncFactor scales the convergence band of the first
+	// synchronization in multi-reconstruction mode: phase 1 ends when
+	// beta_up + 2*FirstSyncFactor*eps >= beta_low. The paper uses 10
+	// (i.e. a 20*eps band, "close enough" to the 2*eps solution); 0 means
+	// that default. Exposed for the ablation bench.
+	FirstSyncFactor float64
+
+	// MaxIter bounds the iteration count; 0 means a generous default.
+	MaxIter int64
+
+	// RecordTrace makes rank 0 record a Trace for the perfmodel package.
+	RecordTrace bool
+	// DatasetName labels the trace.
+	DatasetName string
+
+	// Lambda, when positive, charges each rank's virtual clock
+	// Lambda seconds per kernel evaluation, so RunTimed makespans can be
+	// compared against the analytic performance model.
+	Lambda float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Eps <= 0 {
+		out.Eps = 1e-3
+	}
+	if out.MaxIter <= 0 {
+		out.MaxIter = 200_000_000
+	}
+	if out.Heuristic.Name == "" {
+		out.Heuristic = Original
+	}
+	if out.FirstSyncFactor <= 0 {
+		out.FirstSyncFactor = 10
+	}
+	return out
+}
+
+// Stats reports what a training run did. All fields are identical on every
+// rank except Trace, which only rank 0 fills when requested.
+type Stats struct {
+	Iterations      int64
+	Converged       bool
+	ShrinkEvents    int
+	Reconstructions int
+	SVCount         int
+	FinalActive     int // global active-set size at termination
+	KernelEvals     uint64
+	Objective       float64
+	Trace           *Trace
+}
+
+// pairHalf carries one selected sample (x_up or x_low) from its owner to
+// every rank, together with the scalar state the alpha update needs.
+type pairHalf struct {
+	Row   sparse.Row
+	Norm  float64
+	Y     float64
+	Alpha float64
+	Gamma float64
+}
+
+// ByteSize implements mpi.Sized: index+value data plus the four scalars.
+func (h pairHalf) ByteSize() int { return 12*len(h.Row.Idx) + 32 }
+
+// svBlock is a rank's contribution to the gradient-reconstruction ring and
+// to final model assembly: the local rows with alpha > 0 and their
+// coefficients alpha*y.
+type svBlock struct {
+	X     *sparse.Matrix
+	Coef  []float64
+	Norms []float64
+}
+
+// ByteSize implements mpi.Sized.
+func (b *svBlock) ByteSize() int {
+	if b == nil || b.X == nil {
+		return 8
+	}
+	return b.X.ByteSize() + 8*len(b.Coef) + 8*len(b.Norms)
+}
+
+// Train runs the proposed distributed SVM algorithm on this rank's
+// partition. Every rank of the communicator must call it with the same
+// configuration. The returned model is assembled on rank 0 (nil on other
+// ranks); Stats are identical everywhere.
+func Train(c *mpi.Comm, pt *Partition, cfg Config) (*model.Model, *Stats, error) {
+	cfg = cfg.withDefaults()
+	if err := validateInputs(c, pt, cfg); err != nil {
+		return nil, nil, err
+	}
+	s := newRankState(c, pt, cfg)
+	if err := s.solve(); err != nil {
+		return nil, nil, err
+	}
+	return s.finish()
+}
+
+func validateInputs(c *mpi.Comm, pt *Partition, cfg Config) error {
+	if pt == nil {
+		return errors.New("core: nil partition")
+	}
+	if pt.P != c.Size() || pt.Rank != c.Rank() {
+		return fmt.Errorf("core: partition (rank %d of %d) does not match communicator (rank %d of %d)",
+			pt.Rank, pt.P, c.Rank(), c.Size())
+	}
+	if cfg.C <= 0 {
+		return fmt.Errorf("core: C must be positive, got %v", cfg.C)
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.Heuristic.Validate(); err != nil {
+		return err
+	}
+	if len(pt.Y) != pt.Len() {
+		return fmt.Errorf("core: partition has %d labels for %d rows", len(pt.Y), pt.Len())
+	}
+	for i, v := range pt.Y {
+		if v != 1 && v != -1 {
+			return fmt.Errorf("core: local label %d is %v, want +1 or -1", i, v)
+		}
+	}
+	return nil
+}
+
+// rankState is the per-rank solver state.
+type rankState struct {
+	c   *mpi.Comm
+	pt  *Partition
+	cfg Config
+
+	alpha, gamma []float64
+	active       []bool
+	localActive  int
+	globalActive int
+
+	ev *kernel.Evaluator // local block evaluator
+
+	// second-order selection state: local kernel diagonal and a per-
+	// iteration scratch row of K(x_up, x_i) values shared between
+	// selection and the gradient pass.
+	diag []float64
+	kui  []float64
+
+	iter            int64
+	converged       bool
+	shrinkEvents    int
+	reconstructions int
+	manualEvals     uint64 // kernel evals done via Params.Eval directly
+
+	// shrinking thresholds (the paper's delta and delta_c)
+	delta  int64
+	deltaC int64
+
+	// multi-reconstruction phase: 1 = converging to 20*eps, 2 = to 2*eps.
+	phase int
+
+	trace *Trace
+}
+
+func newRankState(c *mpi.Comm, pt *Partition, cfg Config) *rankState {
+	n := pt.Len()
+	s := &rankState{
+		c: c, pt: pt, cfg: cfg,
+		alpha:        make([]float64, n),
+		gamma:        make([]float64, n),
+		active:       make([]bool, n),
+		localActive:  n,
+		globalActive: pt.N,
+		ev:           kernel.NewEvaluator(cfg.Kernel, pt.X),
+		phase:        1,
+	}
+	for i := 0; i < n; i++ {
+		s.gamma[i] = -pt.Y[i]
+		s.active[i] = true
+	}
+	s.delta = cfg.Heuristic.InitialThreshold(pt.N)
+	s.deltaC = s.delta
+	if cfg.SecondOrder {
+		s.diag = make([]float64, n)
+		for i := range s.diag {
+			s.diag[i] = s.ev.At(i, i)
+		}
+		s.kui = make([]float64, n)
+	}
+	if cfg.RecordTrace && c.Rank() == 0 {
+		s.trace = trace.New(cfg.DatasetName, cfg.Heuristic.Name, pt.N, 0, cfg.Eps)
+		if cfg.SecondOrder {
+			s.trace.WSS = "second-order"
+		}
+	}
+	return s
+}
+
+// reduceBetas scans the local active set for the worst KKT violators and
+// combines them globally (the two MPI_Allreduce calls of Algorithm 2,
+// lines 21-22, with MINLOC/MAXLOC semantics so every rank also learns the
+// violators' global indices).
+func (s *rankState) reduceBetas() (up, low mpi.ValLoc, err error) {
+	up = mpi.ValLoc{Val: math.Inf(1), Loc: -1}
+	low = mpi.ValLoc{Val: math.Inf(-1), Loc: -1}
+	for i := range s.alpha {
+		if !s.active[i] {
+			continue
+		}
+		g := s.pt.Global(i)
+		if solver.InUp(s.pt.Y[i], s.alpha[i], s.cfg.C) {
+			up = mpi.MinLoc(up, mpi.ValLoc{Val: s.gamma[i], Loc: g})
+		}
+		if solver.InLow(s.pt.Y[i], s.alpha[i], s.cfg.C) {
+			low = mpi.MaxLoc(low, mpi.ValLoc{Val: s.gamma[i], Loc: g})
+		}
+	}
+	if up, err = mpi.Allreduce(s.c, up, mpi.MinLoc); err != nil {
+		return
+	}
+	low, err = mpi.Allreduce(s.c, low, mpi.MaxLoc)
+	return
+}
+
+// currentEps returns the convergence half-band for the current phase:
+// Algorithm 5 first synchronizes at 20*eps (phase 1), then converges to
+// the final 2*eps band.
+func (s *rankState) currentEps() float64 {
+	if s.cfg.Heuristic.Recon == ReconMulti && s.phase == 1 {
+		// Converged() doubles it: with the default factor 10 this is the
+		// paper's beta_up + 20*eps >= beta_low first synchronization.
+		return s.cfg.FirstSyncFactor * s.cfg.Eps
+	}
+	return s.cfg.Eps
+}
+
+func (s *rankState) solve() error {
+	h := s.cfg.Heuristic
+	shrinkingEnabled := h.Shrinks()
+	for {
+		up, low, err := s.reduceBetas()
+		if err != nil {
+			return err
+		}
+		if solver.Converged(up.Val, low.Val, s.currentEps()) {
+			if h.Recon == ReconMulti && s.phase == 1 {
+				// First synchronization point at 20*eps: re-admit the
+				// eliminated samples while still far from the solution.
+				if s.globalActive < s.pt.N {
+					if err := s.reconstruct(); err != nil {
+						return err
+					}
+				}
+				// Algorithm 5 keeps shrinking after the synchronization
+				// ("do not update delta_c" to infinity, unlike Algorithm
+				// 4); restart the countdown at the initial threshold so
+				// the near-converged gradients are culled promptly — the
+				// behaviour the paper describes for real-sim and forest,
+				// where under 10% of samples stay active after the first
+				// gradient reconstruction.
+				s.deltaC = s.delta
+				s.phase = 2
+				continue
+			}
+			if s.globalActive < s.pt.N {
+				// Converged on the shrunk problem only; rebuild the
+				// gradients of eliminated samples and re-check.
+				if err := s.reconstruct(); err != nil {
+					return err
+				}
+				if h.Recon == ReconSingle {
+					// Algorithm 4 line 32: delta_c <- infinity; never
+					// shrink again, so the final solution is exact.
+					shrinkingEnabled = false
+				} else {
+					s.deltaC = s.delta
+				}
+				continue
+			}
+			s.converged = true
+			return nil
+		}
+		if s.iter >= s.cfg.MaxIter {
+			return nil
+		}
+		s.iter++
+
+		var pair exchangedPair
+		pair.up, err = s.routeHalf(up.Loc, tagPairUp)
+		if err != nil {
+			return err
+		}
+		lowIdx := low.Loc
+		if s.cfg.SecondOrder {
+			if j, err := s.selectSecondOrder(pair.up, up.Val); err != nil {
+				return err
+			} else if j >= 0 {
+				lowIdx = j
+			}
+		}
+		pair.low, err = s.routeHalf(lowIdx, tagPairLow)
+		if err != nil {
+			return err
+		}
+		// All ranks compute the identical analytic step (Eq. 6/7).
+		kUU := s.cfg.Kernel.Eval(pair.up.Row, pair.up.Row, pair.up.Norm, pair.up.Norm)
+		kLL := s.cfg.Kernel.Eval(pair.low.Row, pair.low.Row, pair.low.Norm, pair.low.Norm)
+		kUL := s.cfg.Kernel.Eval(pair.up.Row, pair.low.Row, pair.up.Norm, pair.low.Norm)
+		s.manualEvals += 3
+		st := solver.OptimizePair(pair.up.Gamma, pair.low.Gamma, pair.up.Y, pair.low.Y,
+			pair.up.Alpha, pair.low.Alpha, kUU, kLL, kUL, s.cfg.C)
+		// low.Loc is what the gradient pass matches alpha updates against.
+		low.Loc = lowIdx
+
+		shrinkNow := false
+		if shrinkingEnabled {
+			s.deltaC--
+			if s.deltaC <= 0 {
+				shrinkNow = true
+			}
+		}
+		s.gradientPass(st, up, low, pair, shrinkNow)
+
+		if s.cfg.Lambda > 0 {
+			s.c.Compute(s.cfg.Lambda * float64(3+2*s.localActive))
+		}
+
+		if shrinkNow {
+			s.shrinkEvents++
+			prevActive := s.globalActive
+			ga, err := mpi.Allreduce(s.c, s.localActive, mpi.SumInt)
+			if err != nil {
+				return err
+			}
+			s.globalActive = ga
+			switch {
+			case s.cfg.SubsequentFixed:
+				// Ablation: always reuse the initial threshold.
+				s.deltaC = s.delta
+			case ga == prevActive:
+				// The check eliminated nothing — shrinking has not begun
+				// yet (the band is still wide), so re-check at the
+				// initial cadence rather than waiting a full working-set
+				// length. Once elimination starts, the paper's
+				// subsequent threshold below takes over.
+				s.deltaC = s.delta
+			default:
+				// Paper default: the size of the active working set,
+				// obtained with an MPI_Allreduce, giving every surviving
+				// sample an opportunity to stabilize before the next
+				// shrink step.
+				s.deltaC = int64(max(ga, 1))
+			}
+			if s.trace != nil {
+				s.trace.SetActive(s.iter, ga)
+				s.trace.ShrinkChecks++
+			}
+		}
+	}
+}
+
+// exchangedPair bundles both halves after distribution (routed through
+// rank 0 and broadcast, following Algorithm 2 lines 3-10).
+type exchangedPair struct {
+	up, low pairHalf
+}
+
+// selectSecondOrder picks the partner of i_up by maximal analytic gain
+// among local low-side violators, then combines globally with a MAXLOC
+// Allreduce. It fills s.kui with K(x_up, x_i) for every local active
+// sample as a side effect; the gradient pass reuses those values, so the
+// second-order rule costs no extra kernel evaluations.
+func (s *rankState) selectSecondOrder(up pairHalf, gammaUp float64) (int, error) {
+	kUU := s.cfg.Kernel.Eval(up.Row, up.Row, up.Norm, up.Norm)
+	s.manualEvals++
+	best := mpi.ValLoc{Val: math.Inf(-1), Loc: -1}
+	for i := range s.alpha {
+		if !s.active[i] {
+			continue
+		}
+		s.kui[i] = s.ev.Cross(i, up.Row, up.Norm)
+		if !solver.InLow(s.pt.Y[i], s.alpha[i], s.cfg.C) {
+			continue
+		}
+		b := s.gamma[i] - gammaUp
+		if b <= 0 {
+			continue
+		}
+		eta := kUU + s.diag[i] - 2*s.kui[i]
+		if eta <= solver.Tau {
+			eta = solver.Tau
+		}
+		best = mpi.MaxLoc(best, mpi.ValLoc{Val: b * b / eta, Loc: s.pt.Global(i)})
+	}
+	best, err := mpi.Allreduce(s.c, best, mpi.MaxLoc)
+	if err != nil {
+		return -1, err
+	}
+	return best.Loc, nil
+}
+
+func (s *rankState) routeHalf(g, tag int) (pairHalf, error) {
+	owner := OwnerOf(s.pt.N, s.pt.P, g)
+	var h pairHalf
+	if s.c.Rank() == owner {
+		l, ok := s.pt.Local(g)
+		if !ok {
+			return h, fmt.Errorf("core: rank %d does not own global row %d", owner, g)
+		}
+		h = pairHalf{Row: s.pt.X.RowView(l), Norm: s.ev.Norm(l), Y: s.pt.Y[l], Alpha: s.alpha[l], Gamma: s.gamma[l]}
+		if owner != 0 {
+			if err := s.c.Send(0, tag, h); err != nil {
+				return h, err
+			}
+		}
+	}
+	if s.c.Rank() == 0 && owner != 0 {
+		got, _, err := mpi.RecvAs[pairHalf](s.c, owner, tag)
+		if err != nil {
+			return h, err
+		}
+		h = got
+	}
+	return mpi.Bcast(s.c, h, 0)
+}
+
+// gradientPass applies the Eq. 2 gradient update to every local active
+// sample, installs the new alphas on the owners of the selected pair, and
+// optionally applies the Eq. 9 shrink condition (Algorithm 4 lines 12-24).
+func (s *rankState) gradientPass(st solver.Step, up, low mpi.ValLoc, pair exchangedPair, shrinkNow bool) {
+	c := s.cfg.C
+	for i := range s.alpha {
+		if !s.active[i] {
+			continue
+		}
+		var kui float64
+		if s.cfg.SecondOrder {
+			kui = s.kui[i] // computed during selection
+		} else {
+			kui = s.ev.Cross(i, pair.up.Row, pair.up.Norm)
+		}
+		kli := s.ev.Cross(i, pair.low.Row, pair.low.Norm)
+		s.gamma[i] += solver.GradientDelta(st.T, kui, kli)
+		g := s.pt.Global(i)
+		if g == up.Loc {
+			s.alpha[i] = st.NewAlphaUp
+		}
+		if g == low.Loc {
+			s.alpha[i] = st.NewAlphaLow
+		}
+		if shrinkNow {
+			set := solver.Classify(s.pt.Y[i], s.alpha[i], c)
+			if solver.Shrinkable(set, s.gamma[i], up.Val, low.Val) {
+				s.active[i] = false
+				s.localActive--
+			}
+		}
+	}
+}
+
+// buildSVBlock collects the local samples with alpha > 0.
+func (s *rankState) buildSVBlock() (*svBlock, error) {
+	var idx []int
+	for i, a := range s.alpha {
+		if a > 0 {
+			idx = append(idx, i)
+		}
+	}
+	x, err := s.pt.X.SelectRows(idx)
+	if err != nil {
+		return nil, err
+	}
+	b := &svBlock{X: x, Coef: make([]float64, len(idx)), Norms: make([]float64, len(idx))}
+	for k, i := range idx {
+		b.Coef[k] = s.alpha[i] * s.pt.Y[i]
+		b.Norms[k] = s.ev.Norm(i)
+	}
+	return b, nil
+}
+
+// reconstruct is Algorithm 3: rebuild gamma for previously eliminated
+// samples using every sample with alpha > 0, obtained via a ring exchange
+// of CSR blocks (implemented, as in the paper, with Isend/Irecv/Waitall),
+// then re-admit all samples.
+func (s *rankState) reconstruct() error {
+	s.reconstructions++
+	p, rank := s.pt.P, s.c.Rank()
+
+	// Targets: local samples whose gradient is stale.
+	var targets []int
+	for i, a := range s.active {
+		if !a {
+			targets = append(targets, i)
+		}
+	}
+	// Start gamma from scratch for targets: gamma_i = -y_i + sum contributions.
+	for _, i := range targets {
+		s.gamma[i] = -s.pt.Y[i]
+	}
+
+	block, err := s.buildSVBlock()
+	if err != nil {
+		return err
+	}
+	totalShrunk, err := mpi.Allreduce(s.c, len(targets), mpi.SumInt)
+	if err != nil {
+		return err
+	}
+	totalSVs, err := mpi.Allreduce(s.c, block.X.Rows(), mpi.SumInt)
+	if err != nil {
+		return err
+	}
+
+	cur := block
+	right := (rank + 1) % p
+	left := (rank - 1 + p) % p
+	for step := 0; step < p; step++ {
+		s.applyBlock(cur, targets)
+		if s.cfg.Lambda > 0 {
+			s.c.Compute(s.cfg.Lambda * float64(len(targets)*cur.X.Rows()))
+		}
+		if step == p-1 {
+			break
+		}
+		sreq := s.c.Isend(right, tagRecon, cur)
+		rreq := s.c.Irecv(left, tagRecon)
+		if err := mpi.Waitall(sreq, rreq); err != nil {
+			return err
+		}
+		next, ok := rreq.Data().(*svBlock)
+		if !ok {
+			return fmt.Errorf("core: rank %d: ring payload is %T", rank, rreq.Data())
+		}
+		cur = next
+	}
+
+	// Re-admit every sample (the re-introduced samples participate in the
+	// next beta reduction, Algorithm 3 lines 7-12).
+	for i := range s.active {
+		s.active[i] = true
+	}
+	s.localActive = len(s.active)
+	s.globalActive = s.pt.N
+
+	if s.trace != nil {
+		s.trace.AddRecon(s.iter, totalShrunk, totalSVs)
+	}
+	return nil
+}
+
+// applyBlock accumulates one ring block's contributions into the stale
+// gradients: gamma_i += alpha_j*y_j*Phi(x_j, x_i).
+func (s *rankState) applyBlock(b *svBlock, targets []int) {
+	for j := 0; j < b.X.Rows(); j++ {
+		row := b.X.RowView(j)
+		coef := b.Coef[j]
+		norm := b.Norms[j]
+		for _, i := range targets {
+			s.gamma[i] += coef * s.ev.Cross(i, row, norm)
+		}
+	}
+}
+
+// finish computes the threshold, assembles the model on rank 0, and
+// gathers global statistics.
+func (s *rankState) finish() (*model.Model, *Stats, error) {
+	// beta: mean gradient over the free set I0 (Allreduce of sum and count).
+	var sumG float64
+	var nI0 int
+	var localSV int
+	var localObj float64
+	for i, a := range s.alpha {
+		if solver.Classify(s.pt.Y[i], a, s.cfg.C) == solver.I0 {
+			sumG += s.gamma[i]
+			nI0++
+		}
+		if a > 0 {
+			localSV++
+		}
+		localObj += a * (1 - s.pt.Y[i]*s.gamma[i])
+	}
+	sumG, err := mpi.Allreduce(s.c, sumG, mpi.SumF64)
+	if err != nil {
+		return nil, nil, err
+	}
+	nI0, err = mpi.Allreduce(s.c, nI0, mpi.SumInt)
+	if err != nil {
+		return nil, nil, err
+	}
+	up, low, err := s.reduceBetas()
+	if err != nil {
+		return nil, nil, err
+	}
+	beta := solver.Threshold(sumG, nI0, up.Val, low.Val)
+
+	svTotal, err := mpi.Allreduce(s.c, localSV, mpi.SumInt)
+	if err != nil {
+		return nil, nil, err
+	}
+	evals := s.ev.Evals() + s.manualEvals
+	totalEvals, err := mpi.Allreduce(s.c, evals, func(a, b uint64) uint64 { return a + b })
+	if err != nil {
+		return nil, nil, err
+	}
+	obj, err := mpi.Allreduce(s.c, localObj, mpi.SumF64)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	st := &Stats{
+		Iterations:      s.iter,
+		Converged:       s.converged,
+		ShrinkEvents:    s.shrinkEvents,
+		Reconstructions: s.reconstructions,
+		SVCount:         svTotal,
+		FinalActive:     s.globalActive,
+		KernelEvals:     totalEvals,
+		Objective:       obj / 2,
+	}
+	if s.trace != nil {
+		s.trace.Iterations = s.iter
+		s.trace.Converged = s.converged
+		s.trace.SVCount = svTotal
+		s.trace.AvgNNZ = avgNNZGlobal(s)
+		st.Trace = s.trace
+	}
+
+	// Model assembly: gather SV blocks at rank 0 in rank order.
+	block, err := s.buildSVBlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks, err := mpi.Gather(s.c, block, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.c.Rank() != 0 {
+		return nil, st, nil
+	}
+	sv := blocks[0].X
+	coef := append([]float64(nil), blocks[0].Coef...)
+	for _, b := range blocks[1:] {
+		sv = sparse.Append(sv, b.X)
+		coef = append(coef, b.Coef...)
+	}
+	m := &model.Model{
+		Kernel:       s.cfg.Kernel,
+		C:            s.cfg.C,
+		SV:           sv,
+		Coef:         coef,
+		Beta:         beta,
+		TrainSamples: s.pt.N,
+		Iterations:   s.iter,
+	}
+	return m, st, nil
+}
+
+// avgNNZGlobal is computed locally on rank 0 from its block — blocks are
+// statistically identical, and the value only labels the trace.
+func avgNNZGlobal(s *rankState) float64 {
+	return s.pt.X.AvgRowNNZ()
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// ReadLibsvm parses the libsvm text format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based and must be strictly increasing within a line (the
+// format used by the libsvm dataset page). Labels other than +1/-1 are
+// accepted and mapped: positive labels (and "+1") to +1, everything else
+// to -1, matching the common binary-task convention for these datasets.
+func ReadLibsvm(r io.Reader) (*sparse.Matrix, []float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	b := sparse.NewBuilder(0)
+	var y []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("libsvm: line %d: label %q: %w", lineNo, fields[0], err)
+		}
+		if label > 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, -1)
+		}
+		prev := 0
+		for _, f := range fields[1:] {
+			idxStr, valStr, ok := strings.Cut(f, ":")
+			if !ok {
+				return nil, nil, fmt.Errorf("libsvm: line %d: malformed feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(idxStr)
+			if err != nil || idx < 1 {
+				return nil, nil, fmt.Errorf("libsvm: line %d: feature index %q", lineNo, idxStr)
+			}
+			if idx <= prev {
+				return nil, nil, fmt.Errorf("libsvm: line %d: non-increasing feature index %d", lineNo, idx)
+			}
+			prev = idx
+			val, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("libsvm: line %d: feature value %q: %w", lineNo, valStr, err)
+			}
+			b.Add(idx-1, val)
+		}
+		b.EndRow()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("libsvm: %w", err)
+	}
+	return b.Build(), y, nil
+}
+
+// WriteLibsvm writes (x, y) in libsvm text format with 1-based indices.
+func WriteLibsvm(w io.Writer, x *sparse.Matrix, y []float64) error {
+	if x.Rows() != len(y) {
+		return fmt.Errorf("libsvm: %d rows but %d labels", x.Rows(), len(y))
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < x.Rows(); i++ {
+		if y[i] > 0 {
+			fmt.Fprint(bw, "+1")
+		} else {
+			fmt.Fprint(bw, "-1")
+		}
+		r := x.RowView(i)
+		for k, c := range r.Idx {
+			fmt.Fprintf(bw, " %d:%v", c+1, r.Val[k])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// LoadLibsvmFile reads a libsvm file from disk.
+func LoadLibsvmFile(path string) (*sparse.Matrix, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadLibsvm(f)
+}
+
+// SaveLibsvmFile writes a libsvm file to disk.
+func SaveLibsvmFile(path string, x *sparse.Matrix, y []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteLibsvm(f, x, y); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,187 @@
+// Package model holds the output of SVM training — the support vectors,
+// their coefficients, and the hyperplane threshold beta — and implements
+// prediction and evaluation on held-out data.
+//
+// A trained classifier is f(x) = sign(sum_i alpha_i y_i Phi(sv_i, x) - beta),
+// where beta follows the paper's convention: at termination
+// beta = mean(gamma_i : i in I0) when I0 is non-empty, else
+// (beta_low + beta_up)/2.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/sparse"
+)
+
+// Model is a trained binary SVM classifier.
+type Model struct {
+	Kernel kernel.Params
+	C      float64 // box constraint used during training (informational)
+
+	// SV holds the support vectors (rows with alpha > 0).
+	SV *sparse.Matrix
+	// Coef[i] = alpha_i * y_i for support vector i.
+	Coef []float64
+	// Beta is the hyperplane threshold (libsvm's rho).
+	Beta float64
+
+	// Training metadata, informational.
+	TrainSamples int
+	Iterations   int64
+
+	// Platt calibration parameters for P(y=+1|f) = 1/(1+exp(ProbA*f+ProbB)),
+	// fitted by internal/probability. HasProb reports whether they are set.
+	ProbA, ProbB float64
+	HasProb      bool
+
+	svNormsCache []float64 // lazily computed support-vector squared norms
+}
+
+// NumSV returns the number of support vectors.
+func (m *Model) NumSV() int {
+	if m.SV == nil {
+		return 0
+	}
+	return m.SV.Rows()
+}
+
+// SVFraction returns |SV| / training samples — the quantity Figure 1 of the
+// paper illustrates being small.
+func (m *Model) SVFraction() float64 {
+	if m.TrainSamples == 0 {
+		return 0
+	}
+	return float64(m.NumSV()) / float64(m.TrainSamples)
+}
+
+// Validate checks structural invariants of the model.
+func (m *Model) Validate() error {
+	if m.SV == nil {
+		return fmt.Errorf("model: nil support vector matrix")
+	}
+	if err := m.SV.Validate(); err != nil {
+		return fmt.Errorf("model: SV matrix: %w", err)
+	}
+	if len(m.Coef) != m.SV.Rows() {
+		return fmt.Errorf("model: %d coefficients for %d support vectors", len(m.Coef), m.SV.Rows())
+	}
+	for i, c := range m.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("model: coefficient %d is %v", i, c)
+		}
+		if c == 0 {
+			return fmt.Errorf("model: coefficient %d is zero; support vectors must have alpha > 0", i)
+		}
+		if m.C > 0 && math.Abs(c) > m.C*(1+1e-9) {
+			return fmt.Errorf("model: |coef[%d]| = %v exceeds C = %v", i, math.Abs(c), m.C)
+		}
+	}
+	if math.IsNaN(m.Beta) || math.IsInf(m.Beta, 0) {
+		return fmt.Errorf("model: beta is %v", m.Beta)
+	}
+	return m.Kernel.Validate()
+}
+
+// DecisionValue returns the decision function sum_i coef_i*Phi(sv_i, x) - beta
+// for one sample row.
+func (m *Model) DecisionValue(x sparse.Row) float64 {
+	normX := kernel.SquaredNormOf(x)
+	var s float64
+	for i := 0; i < m.SV.Rows(); i++ {
+		var normSV float64
+		if m.Kernel.Type == kernel.Gaussian {
+			normSV = m.svNorm(i)
+		}
+		s += m.Coef[i] * m.Kernel.Eval(m.SV.RowView(i), x, normSV, normX)
+	}
+	return s - m.Beta
+}
+
+// svNorm returns the squared norm of support vector i, computing the cache
+// on first use. Prediction is single-goroutine per model; callers that
+// predict concurrently should call WarmNorms first.
+func (m *Model) svNorm(i int) float64 {
+	if m.svNormsCache == nil {
+		m.svNormsCache = m.SV.SquaredNorms()
+	}
+	return m.svNormsCache[i]
+}
+
+// WarmNorms precomputes the support-vector norm cache so that subsequent
+// DecisionValue calls are safe to issue from multiple goroutines.
+func (m *Model) WarmNorms() {
+	if m.svNormsCache == nil && m.SV != nil {
+		m.svNormsCache = m.SV.SquaredNorms()
+	}
+}
+
+// Probability returns the calibrated P(y=+1 | x) and true, or (0, false)
+// when the model carries no Platt parameters.
+func (m *Model) Probability(x sparse.Row) (float64, bool) {
+	if !m.HasProb {
+		return 0, false
+	}
+	fApB := m.ProbA*m.DecisionValue(x) + m.ProbB
+	if fApB >= 0 {
+		e := math.Exp(-fApB)
+		return e / (1 + e), true
+	}
+	return 1 / (1 + math.Exp(fApB)), true
+}
+
+// Predict classifies one sample, returning +1 or -1.
+func (m *Model) Predict(x sparse.Row) float64 {
+	if m.DecisionValue(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// PredictAll classifies every row of x.
+func (m *Model) PredictAll(x *sparse.Matrix) []float64 {
+	out := make([]float64, x.Rows())
+	for i := range out {
+		out[i] = m.Predict(x.RowView(i))
+	}
+	return out
+}
+
+// Metrics summarizes classification quality on a labeled set.
+type Metrics struct {
+	Total    int
+	Correct  int
+	TP, TN   int
+	FP, FN   int
+	Accuracy float64 // percent, matching the paper's Table V convention
+}
+
+// Evaluate computes accuracy metrics of the model on (x, y) with labels
+// in {+1, -1}.
+func (m *Model) Evaluate(x *sparse.Matrix, y []float64) (Metrics, error) {
+	if x.Rows() != len(y) {
+		return Metrics{}, fmt.Errorf("model: %d rows but %d labels", x.Rows(), len(y))
+	}
+	var mt Metrics
+	mt.Total = x.Rows()
+	for i := 0; i < x.Rows(); i++ {
+		pred := m.Predict(x.RowView(i))
+		switch {
+		case pred > 0 && y[i] > 0:
+			mt.TP++
+		case pred < 0 && y[i] < 0:
+			mt.TN++
+		case pred > 0 && y[i] < 0:
+			mt.FP++
+		default:
+			mt.FN++
+		}
+	}
+	mt.Correct = mt.TP + mt.TN
+	if mt.Total > 0 {
+		mt.Accuracy = 100 * float64(mt.Correct) / float64(mt.Total)
+	}
+	return mt, nil
+}

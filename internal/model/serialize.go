@@ -1,0 +1,238 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/kernel"
+	"repro/internal/sparse"
+)
+
+// The on-disk format is a libsvm-inspired text format:
+//
+//	svm_type c_svc
+//	kernel_type rbf
+//	gamma 0.0078125
+//	coef0 0            (polynomial/sigmoid only)
+//	degree 3           (polynomial only)
+//	C 32
+//	beta -0.137
+//	train_samples 26000
+//	iterations 812345
+//	total_sv 412
+//	SV
+//	<coef> <idx>:<val> <idx>:<val> ...     (1-based feature indices)
+//
+// It is human-inspectable, diff-friendly, and close enough to libsvm's
+// model files that the correspondence is obvious.
+
+// Write serializes the model to w.
+func (m *Model) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "svm_type c_svc")
+	fmt.Fprintf(bw, "kernel_type %s\n", m.Kernel.Type)
+	switch m.Kernel.Type {
+	case kernel.Gaussian:
+		fmt.Fprintf(bw, "gamma %v\n", m.Kernel.Gamma)
+	case kernel.Polynomial:
+		fmt.Fprintf(bw, "gamma %v\n", m.Kernel.Gamma)
+		fmt.Fprintf(bw, "coef0 %v\n", m.Kernel.Coef0)
+		fmt.Fprintf(bw, "degree %d\n", m.Kernel.Degree)
+	case kernel.Sigmoid:
+		fmt.Fprintf(bw, "gamma %v\n", m.Kernel.Gamma)
+		fmt.Fprintf(bw, "coef0 %v\n", m.Kernel.Coef0)
+	}
+	fmt.Fprintf(bw, "C %v\n", m.C)
+	fmt.Fprintf(bw, "beta %v\n", m.Beta)
+	if m.HasProb {
+		fmt.Fprintf(bw, "prob_a %v\n", m.ProbA)
+		fmt.Fprintf(bw, "prob_b %v\n", m.ProbB)
+	}
+	fmt.Fprintf(bw, "train_samples %d\n", m.TrainSamples)
+	fmt.Fprintf(bw, "iterations %d\n", m.Iterations)
+	fmt.Fprintf(bw, "total_sv %d\n", m.NumSV())
+	fmt.Fprintln(bw, "SV")
+	for i := 0; i < m.NumSV(); i++ {
+		fmt.Fprintf(bw, "%v", m.Coef[i])
+		r := m.SV.RowView(i)
+		for k, c := range r.Idx {
+			fmt.Fprintf(bw, " %d:%v", c+1, r.Val[k])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a model previously written by Write.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	m := &Model{}
+	totalSV := -1
+	inHeader := true
+	b := sparse.NewBuilder(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if inHeader {
+			if line == "SV" {
+				inHeader = false
+				continue
+			}
+			key, val, ok := strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("model: malformed header line %q", line)
+			}
+			if err := parseHeader(m, &totalSV, key, val); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		coef, row, err := parseSVLine(line)
+		if err != nil {
+			return nil, err
+		}
+		m.Coef = append(m.Coef, coef)
+		b.AddRow(row.Idx, row.Val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("model: read: %w", err)
+	}
+	if inHeader {
+		return nil, fmt.Errorf("model: missing SV section")
+	}
+	m.SV = b.Build()
+	if totalSV >= 0 && m.SV.Rows() != totalSV {
+		return nil, fmt.Errorf("model: header declared %d SVs, found %d", totalSV, m.SV.Rows())
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func parseHeader(m *Model, totalSV *int, key, val string) error {
+	switch key {
+	case "svm_type":
+		if val != "c_svc" {
+			return fmt.Errorf("model: unsupported svm_type %q", val)
+		}
+	case "kernel_type":
+		t, err := kernel.ParseType(val)
+		if err != nil {
+			return err
+		}
+		m.Kernel.Type = t
+	case "gamma":
+		return parseF(val, &m.Kernel.Gamma)
+	case "coef0":
+		return parseF(val, &m.Kernel.Coef0)
+	case "degree":
+		d, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("model: degree: %w", err)
+		}
+		m.Kernel.Degree = d
+	case "C":
+		return parseF(val, &m.C)
+	case "beta", "rho":
+		return parseF(val, &m.Beta)
+	case "prob_a":
+		m.HasProb = true
+		return parseF(val, &m.ProbA)
+	case "prob_b":
+		m.HasProb = true
+		return parseF(val, &m.ProbB)
+	case "train_samples":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("model: train_samples: %w", err)
+		}
+		m.TrainSamples = n
+	case "iterations":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("model: iterations: %w", err)
+		}
+		m.Iterations = n
+	case "total_sv":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("model: total_sv: %w", err)
+		}
+		*totalSV = n
+	default:
+		return fmt.Errorf("model: unknown header key %q", key)
+	}
+	return nil
+}
+
+func parseF(s string, out *float64) error {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("model: parse float %q: %w", s, err)
+	}
+	*out = v
+	return nil
+}
+
+func parseSVLine(line string) (float64, sparse.Row, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0, sparse.Row{}, fmt.Errorf("model: empty SV line")
+	}
+	coef, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, sparse.Row{}, fmt.Errorf("model: SV coefficient %q: %w", fields[0], err)
+	}
+	var row sparse.Row
+	for _, f := range fields[1:] {
+		idxStr, valStr, ok := strings.Cut(f, ":")
+		if !ok {
+			return 0, sparse.Row{}, fmt.Errorf("model: malformed feature %q", f)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 1 {
+			return 0, sparse.Row{}, fmt.Errorf("model: feature index %q", idxStr)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return 0, sparse.Row{}, fmt.Errorf("model: feature value %q: %w", valStr, err)
+		}
+		row.Idx = append(row.Idx, int32(idx-1))
+		row.Val = append(row.Val, val)
+	}
+	return coef, row, nil
+}
+
+// Save writes the model to a file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model from a file.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

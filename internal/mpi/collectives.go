@@ -1,0 +1,277 @@
+package mpi
+
+import "fmt"
+
+// nextCollTag reserves a tag for one collective operation. Collectives must
+// be invoked in the same order on every rank (as in MPI), so the per-rank
+// sequence numbers stay in lockstep and consecutive collectives cannot
+// cross-match messages.
+func (c *Comm) nextCollTag() int {
+	tag := maxUserTag + c.collSeq%maxUserTag
+	c.collSeq++
+	return tag
+}
+
+func assertPayload[T any](c *Comm, data any, st Status) (T, error) {
+	v, ok := data.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("mpi: rank %d: collective payload type %T from rank %d, want %T", c.rank, data, st.Source, zero)
+	}
+	return v, nil
+}
+
+// Bcast broadcasts root's value to every rank using a binomial tree
+// (ceil(log2 p) rounds, the O(log p) cost the paper assumes for
+// distributing x_up and x_low each iteration). Every rank must call it;
+// non-root input values are ignored.
+func Bcast[T any](c *Comm, v T, root int) (T, error) {
+	p := c.Size()
+	if err := c.validRank(root); err != nil {
+		var zero T
+		return zero, err
+	}
+	tag := c.nextCollTag()
+	if p == 1 {
+		return v, nil
+	}
+	rel := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			data, st, err := c.recv(src, tag)
+			if err != nil {
+				var zero T
+				return zero, err
+			}
+			v, err = assertPayload[T](c, data, st)
+			if err != nil {
+				var zero T
+				return zero, err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			if err := c.send(dst, tag, v); err != nil {
+				var zero T
+				return zero, err
+			}
+		}
+	}
+	return v, nil
+}
+
+// Allreduce combines one value per rank with op and returns the global
+// result on every rank. The implementation is recursive doubling with the
+// standard pre/post phases for non-power-of-two worlds; op must be
+// commutative and associative. The combine order is fixed (lower
+// participant's partial on the left), so all ranks produce bitwise
+// identical results even for floating-point sums.
+func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	var zero T
+	p, rank := c.Size(), c.rank
+	tag := c.nextCollTag()
+	if p == 1 {
+		return v, nil
+	}
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	rem := p - p2
+
+	// Fold the "extra" ranks into the power-of-two participant set:
+	// among the first 2*rem ranks, evens hand their value to the odd
+	// neighbour and sit out; odds and all ranks >= 2*rem participate.
+	newRank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		if err := c.send(rank+1, tag, v); err != nil {
+			return zero, err
+		}
+	case rank < 2*rem: // odd
+		data, st, err := c.recv(rank-1, tag)
+		if err != nil {
+			return zero, err
+		}
+		other, err := assertPayload[T](c, data, st)
+		if err != nil {
+			return zero, err
+		}
+		v = op(other, v) // lower rank's value on the left
+		newRank = rank / 2
+	default:
+		newRank = rank - rem
+	}
+
+	oldRank := func(nr int) int {
+		if nr < rem {
+			return nr*2 + 1
+		}
+		return nr + rem
+	}
+
+	if newRank >= 0 {
+		for mask := 1; mask < p2; mask <<= 1 {
+			partnerNew := newRank ^ mask
+			partner := oldRank(partnerNew)
+			data, st, err := c.sendrecv(partner, tag, v, partner, tag)
+			if err != nil {
+				return zero, err
+			}
+			other, err := assertPayload[T](c, data, st)
+			if err != nil {
+				return zero, err
+			}
+			if newRank < partnerNew {
+				v = op(v, other)
+			} else {
+				v = op(other, v)
+			}
+		}
+	}
+
+	// Return results to the folded-out even ranks.
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		data, st, err := c.recv(rank+1, tag)
+		if err != nil {
+			return zero, err
+		}
+		return assertPayload[T](c, data, st)
+	case rank < 2*rem: // odd
+		if err := c.send(rank-1, tag, v); err != nil {
+			return zero, err
+		}
+	}
+	return v, nil
+}
+
+// Barrier blocks until every rank has entered it (dissemination algorithm,
+// ceil(log2 p) rounds).
+func Barrier(c *Comm) error {
+	p, rank := c.Size(), c.rank
+	tag := c.nextCollTag()
+	for dist := 1; dist < p; dist *= 2 {
+		dst := (rank + dist) % p
+		src := (rank - dist%p + p) % p
+		if _, _, err := c.sendrecv(dst, tag, struct{}{}, src, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allgather gathers one value per rank into a slice indexed by rank, on
+// every rank, using the ring algorithm (p-1 steps). Values may have
+// different sizes (MPI_Allgatherv). Payloads are shared by reference and
+// must not be mutated by receivers.
+func Allgather[T any](c *Comm, v T) ([]T, error) {
+	p, rank := c.Size(), c.rank
+	tag := c.nextCollTag()
+	out := make([]T, p)
+	out[rank] = v
+	if p == 1 {
+		return out, nil
+	}
+	right := (rank + 1) % p
+	left := (rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendIdx := ((rank-step)%p + p) % p
+		recvIdx := ((rank-step-1)%p + p) % p
+		data, st, err := c.sendrecv(right, tag, out[sendIdx], left, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[recvIdx], err = assertPayload[T](c, data, st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Gather collects one value per rank at root (indexed by rank); other
+// ranks receive nil. Linear algorithm: fine for the model-assembly step it
+// serves, which runs once per training.
+func Gather[T any](c *Comm, v T, root int) ([]T, error) {
+	p, rank := c.Size(), c.rank
+	if err := c.validRank(root); err != nil {
+		return nil, err
+	}
+	tag := c.nextCollTag()
+	if rank != root {
+		return nil, c.send(root, tag, v)
+	}
+	out := make([]T, p)
+	out[rank] = v
+	for i := 0; i < p-1; i++ {
+		data, st, err := c.recv(AnySource, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[st.Source], err = assertPayload[T](c, data, st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ValLoc pairs a value with a global index for MINLOC/MAXLOC reductions,
+// which the solver uses to find the worst KKT violators i_up and i_low.
+type ValLoc struct {
+	Val float64
+	Loc int
+}
+
+// ByteSize implements Sized for the time model.
+func (ValLoc) ByteSize() int { return 16 }
+
+// MinLoc returns the argument with the smaller value; ties break toward
+// the smaller index, which keeps the solver's pair selection deterministic
+// and independent of the process count.
+func MinLoc(a, b ValLoc) ValLoc {
+	if b.Val < a.Val || (b.Val == a.Val && b.Loc < a.Loc) {
+		return b
+	}
+	return a
+}
+
+// MaxLoc returns the argument with the larger value; ties break toward the
+// smaller index.
+func MaxLoc(a, b ValLoc) ValLoc {
+	if b.Val > a.Val || (b.Val == a.Val && b.Loc < a.Loc) {
+		return b
+	}
+	return a
+}
+
+// MinF64, MaxF64, SumF64 and SumInt are reduce operators for Allreduce.
+func MinF64(a, b float64) float64 { return min(a, b) }
+
+// MaxF64 returns the larger of two float64 values.
+func MaxF64(a, b float64) float64 { return max(a, b) }
+
+// SumF64 returns the sum of two float64 values.
+func SumF64(a, b float64) float64 { return a + b }
+
+// SumInt returns the sum of two ints.
+func SumInt(a, b int) int { return a + b }
+
+// MaxInt returns the larger of two ints.
+func MaxInt(a, b int) int { return max(a, b) }
+
+// MinInt returns the smaller of two ints.
+func MinInt(a, b int) int { return min(a, b) }
+
+// AndBool returns the logical AND (used for global convergence predicates).
+func AndBool(a, b bool) bool { return a && b }
+
+// OrBool returns the logical OR.
+func OrBool(a, b bool) bool { return a || b }

@@ -1,0 +1,119 @@
+package mpi
+
+// Reduce combines one value per rank with op, leaving the result at root
+// (other ranks receive the zero value). Binomial-tree algorithm,
+// ceil(log2 p) rounds, with the same deterministic combine order as
+// Allreduce.
+func Reduce[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
+	var zero T
+	p := c.Size()
+	if err := c.validRank(root); err != nil {
+		return zero, err
+	}
+	tag := c.nextCollTag()
+	if p == 1 {
+		return v, nil
+	}
+	rel := (c.rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := (rel - mask + root) % p
+			if err := c.send(dst, tag, v); err != nil {
+				return zero, err
+			}
+			return zero, nil
+		}
+		if rel+mask < p {
+			src := (rel + mask + root) % p
+			data, st, err := c.recv(src, tag)
+			if err != nil {
+				return zero, err
+			}
+			other, err := assertPayload[T](c, data, st)
+			if err != nil {
+				return zero, err
+			}
+			v = op(v, other) // lower relative rank's partial on the left
+		}
+	}
+	return v, nil
+}
+
+// AllreduceRing is Allreduce with a ring algorithm: the accumulator walks
+// rank 0 -> 1 -> ... -> p-1 (p-1 latency-bound steps), then the result is
+// broadcast. It exists for the collective-algorithm ablation — its O(p)
+// latency against recursive doubling's O(log p) is exactly why the
+// per-iteration beta reductions dominate solver communication at scale.
+// Combine order is rank order, so results are identical on every rank and
+// identical to a left fold.
+func AllreduceRing[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	var zero T
+	p, rank := c.Size(), c.rank
+	tag := c.nextCollTag()
+	if p == 1 {
+		return v, nil
+	}
+	if rank > 0 {
+		data, st, err := c.recv(rank-1, tag)
+		if err != nil {
+			return zero, err
+		}
+		acc, err := assertPayload[T](c, data, st)
+		if err != nil {
+			return zero, err
+		}
+		v = op(acc, v)
+	}
+	if rank < p-1 {
+		if err := c.send(rank+1, tag, v); err != nil {
+			return zero, err
+		}
+	}
+	return Bcast(c, v, p-1)
+}
+
+// Iprobe reports whether a message matching (src, tag) is waiting, without
+// consuming it. src may be AnySource and tag AnyTag.
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	if src != AnySource {
+		if err := c.validRank(src); err != nil {
+			return false, Status{}
+		}
+	}
+	return c.w.boxes[c.rank].peek(src, tag)
+}
+
+// Exscan (exclusive prefix reduction) returns op-fold of the values of
+// ranks 0..rank-1; rank 0 receives the zero value and ok=false. Linear
+// chain algorithm: sufficient for the occasional offset computations it
+// serves (e.g. globally numbering per-rank support vectors).
+func Exscan[T any](c *Comm, v T, op func(T, T) T) (T, bool, error) {
+	var zero T
+	p, rank := c.Size(), c.rank
+	tag := c.nextCollTag()
+	acc := zero
+	have := false
+	if rank > 0 {
+		data, st, err := c.recv(rank-1, tag)
+		if err != nil {
+			return zero, false, err
+		}
+		acc, err = assertPayload[T](c, data, st)
+		if err != nil {
+			return zero, false, err
+		}
+		have = true
+	}
+	if rank < p-1 {
+		next := acc
+		if rank == 0 {
+			next = v
+		} else {
+			next = op(acc, v)
+		}
+		if err := c.send(rank+1, tag, next); err != nil {
+			return zero, false, err
+		}
+	}
+	return acc, have, nil
+}

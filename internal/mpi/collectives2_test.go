@@ -1,0 +1,186 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReduce(t *testing.T) {
+	for _, p := range worldSizes {
+		for _, root := range []int{0, p - 1, p / 2} {
+			err := Run(p, func(c *Comm) error {
+				got, err := Reduce(c, c.Rank()+1, SumInt, root)
+				if err != nil {
+					return err
+				}
+				want := p * (p + 1) / 2
+				if c.Rank() == root && got != want {
+					return fmt.Errorf("root got %d, want %d", got, want)
+				}
+				if c.Rank() != root && got != 0 {
+					return fmt.Errorf("non-root got %d, want zero value", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceInvalidRoot(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if _, err := Reduce(c, 1, SumInt, 7); err == nil {
+			return fmt.Errorf("invalid root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceRingMatchesRecursiveDoubling(t *testing.T) {
+	for _, p := range worldSizes {
+		err := Run(p, func(c *Comm) error {
+			v := float64(c.Rank())*1.25 - 3
+			a, err := Allreduce(c, v, MaxF64)
+			if err != nil {
+				return err
+			}
+			b, err := AllreduceRing(c, v, MaxF64)
+			if err != nil {
+				return err
+			}
+			if a != b {
+				return fmt.Errorf("ring %v != recursive doubling %v", b, a)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceRingLatencyIsLinear(t *testing.T) {
+	// The point of the ablation: ring allreduce costs O(p) latency,
+	// recursive doubling O(log p).
+	net := NetModel{Alpha: 1e-3, Beta: 0}
+	cost := func(ring bool, p int) float64 {
+		times, err := RunTimed(p, Options{Net: net}, func(c *Comm) error {
+			var err error
+			if ring {
+				_, err = AllreduceRing(c, 1.0, SumF64)
+			} else {
+				_, err = Allreduce(c, 1.0, SumF64)
+			}
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return MaxTime(times)
+	}
+	ringRatio := cost(true, 64) / cost(true, 8)
+	rdRatio := cost(false, 64) / cost(false, 8)
+	if ringRatio < 4 {
+		t.Fatalf("ring p64/p8 latency ratio %v, want ~8 (linear)", ringRatio)
+	}
+	if rdRatio > 3 {
+		t.Fatalf("recursive-doubling p64/p8 latency ratio %v, want ~2 (logarithmic)", rdRatio)
+	}
+}
+
+func TestIprobe(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 5, "hello"); err != nil {
+				return err
+			}
+			return Barrier(c)
+		}
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		ok, st := c.Iprobe(0, 5)
+		if !ok || st.Source != 0 || st.Tag != 5 || st.Bytes != 5 {
+			return fmt.Errorf("Iprobe = %v, %+v", ok, st)
+		}
+		// Probing must not consume.
+		if ok2, _ := c.Iprobe(AnySource, AnyTag); !ok2 {
+			return fmt.Errorf("message consumed by probe")
+		}
+		if ok3, _ := c.Iprobe(0, 99); ok3 {
+			return fmt.Errorf("Iprobe matched wrong tag")
+		}
+		if ok4, _ := c.Iprobe(9, 5); ok4 {
+			return fmt.Errorf("Iprobe accepted invalid rank")
+		}
+		if _, _, err := c.Recv(0, 5); err != nil {
+			return err
+		}
+		if ok5, _ := c.Iprobe(0, 5); ok5 {
+			return fmt.Errorf("message still probed after Recv")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscan(t *testing.T) {
+	for _, p := range worldSizes {
+		err := Run(p, func(c *Comm) error {
+			acc, have, err := Exscan(c, c.Rank()+1, SumInt)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if have || acc != 0 {
+					return fmt.Errorf("rank 0: acc=%d have=%v", acc, have)
+				}
+				return nil
+			}
+			want := c.Rank() * (c.Rank() + 1) / 2 // sum of 1..rank
+			if !have || acc != want {
+				return fmt.Errorf("rank %d: acc=%d have=%v, want %d", c.Rank(), acc, have, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func BenchmarkAllreduceAlgorithms(b *testing.B) {
+	// DESIGN.md ablation: recursive doubling vs ring under the FDR model.
+	net := FDR()
+	for _, p := range []int{16, 64, 256} {
+		for _, alg := range []string{"recdouble", "ring"} {
+			b.Run(fmt.Sprintf("%s/p%d", alg, p), func(b *testing.B) {
+				b.ReportAllocs()
+				var virtual float64
+				for i := 0; i < b.N; i++ {
+					times, err := RunTimed(p, Options{Net: net}, func(c *Comm) error {
+						var err error
+						if alg == "ring" {
+							_, err = AllreduceRing(c, float64(c.Rank()), SumF64)
+						} else {
+							_, err = Allreduce(c, float64(c.Rank()), SumF64)
+						}
+						return err
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					virtual += MaxTime(times)
+				}
+				b.ReportMetric(virtual/float64(b.N)*1e6, "virtual-us/op")
+			})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package mpi
+
+import "sync"
+
+// message is an in-flight point-to-point message.
+type message struct {
+	src     int
+	tag     int
+	data    any
+	bytes   int
+	arrival float64 // virtual time at which the payload is available
+}
+
+// mailbox is one rank's unbounded receive queue with MPI matching
+// semantics: Recv(src, tag) consumes the oldest message whose source and
+// tag match, where AnySource/AnyTag act as wildcards. Messages from a given
+// (source, tag) pair are delivered in send order (MPI's non-overtaking
+// rule) because the queue is scanned front to back.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	aborted bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func matches(m *message, src, tag int) bool {
+	if src != AnySource && m.src != src {
+		return false
+	}
+	if tag != AnyTag && m.tag != tag {
+		return false
+	}
+	return true
+}
+
+// put enqueues a message and wakes blocked receivers.
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	// Broadcast rather than Signal: receivers match selectively, so the
+	// woken waiter is not necessarily the one this message satisfies.
+	b.cond.Broadcast()
+}
+
+// get blocks until a matching message arrives (or the world aborts) and
+// removes it from the queue.
+func (b *mailbox) get(src, tag int) (message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i := range b.queue {
+			if matches(&b.queue[i], src, tag) {
+				m := b.queue[i]
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if b.aborted {
+			return message{}, ErrAborted
+		}
+		b.cond.Wait()
+	}
+}
+
+// tryGet is a non-blocking probe-and-consume used by Iprobe-style tests.
+func (b *mailbox) tryGet(src, tag int) (message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.queue {
+		if matches(&b.queue[i], src, tag) {
+			m := b.queue[i]
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// peek reports whether a matching message is queued, without removing it.
+func (b *mailbox) peek(src, tag int) (bool, Status) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.queue {
+		if matches(&b.queue[i], src, tag) {
+			m := &b.queue[i]
+			return true, Status{Source: m.src, Tag: m.tag, Bytes: m.bytes}
+		}
+	}
+	return false, Status{}
+}
+
+// pending reports the number of queued messages (for tests).
+func (b *mailbox) pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// abort unblocks all current and future receivers with ErrAborted.
+func (b *mailbox) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

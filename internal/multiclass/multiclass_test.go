@@ -1,0 +1,151 @@
+package multiclass
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/sparse"
+)
+
+// threeBlobs builds a 3-class 2-D dataset: Gaussian blobs at the corners
+// of a triangle, labels {0, 1, 2}.
+func threeBlobs(n int, seed int64) (*sparse.Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][2]float64{{0, 2}, {-2, -1}, {2, -1}}
+	d := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range d {
+		c := i % 3
+		d[i] = []float64{
+			centers[c][0] + 0.5*rng.NormFloat64(),
+			centers[c][1] + 0.5*rng.NormFloat64(),
+		}
+		y[i] = float64(c)
+	}
+	return sparse.FromDense(d), y
+}
+
+func cfg() core.Config {
+	return core.Config{
+		Kernel:    kernel.Params{Type: kernel.Gaussian, Gamma: 0.5},
+		C:         10,
+		Eps:       1e-3,
+		Heuristic: core.Multi5pc,
+	}
+}
+
+func TestThreeClassBlobs(t *testing.T) {
+	x, y := threeBlobs(300, 1)
+	m, err := Train(x, y, 2, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Classes) != 3 || len(m.Binary) != 3 {
+		t.Fatalf("classes = %v", m.Classes)
+	}
+	tx, ty := threeBlobs(150, 2)
+	acc, err := m.Evaluate(tx, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 95 {
+		t.Fatalf("3-class accuracy %v%%", acc)
+	}
+	if m.NumSV() == 0 {
+		t.Fatal("no support vectors")
+	}
+}
+
+func TestBinaryFastPathMatchesCore(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.15)
+	c := cfg()
+	c.Kernel = kernel.FromSigma2(ds.Sigma2)
+	c.C = ds.C
+	m, err := Train(ds.X, ds.Y, 2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Classes) != 2 {
+		t.Fatalf("classes = %v", m.Classes)
+	}
+	direct, _, err := core.TrainParallel(ds.X, ds.Y, 2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.TestX.Rows(); i++ {
+		row := ds.TestX.RowView(i)
+		if m.Predict(row) != direct.Predict(row) {
+			t.Fatalf("binary fast path diverged at test row %d", i)
+		}
+	}
+	accEns, err := m.Evaluate(ds.TestX, ds.TestY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accDirect, err := direct.Evaluate(ds.TestX, ds.TestY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(accEns-accDirect.Accuracy) > 1e-9 {
+		t.Fatalf("accuracy %v vs direct %v", accEns, accDirect.Accuracy)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	x, y := threeBlobs(30, 3)
+	if _, err := Train(x, y[:10], 2, cfg()); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	oneClass := make([]float64, 30)
+	if _, err := Train(x, oneClass, 2, cfg()); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := (&Model{}).Evaluate(x, y[:3]); err == nil {
+		t.Error("Evaluate accepted mismatched labels")
+	}
+}
+
+func TestTenClassDigitsLike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 10 machines; skipped with -short")
+	}
+	// 10 well-separated clusters in 5 dimensions.
+	rng := rand.New(rand.NewSource(4))
+	const n = 500
+	d := make([][]float64, n)
+	y := make([]float64, n)
+	centers := make([][]float64, 10)
+	for c := range centers {
+		centers[c] = make([]float64, 5)
+		for j := range centers[c] {
+			centers[c][j] = 3 * rng.NormFloat64()
+		}
+	}
+	for i := range d {
+		c := i % 10
+		d[i] = make([]float64, 5)
+		for j := range d[i] {
+			d[i][j] = centers[c][j] + 0.4*rng.NormFloat64()
+		}
+		y[i] = float64(c)
+	}
+	x := sparse.FromDense(d)
+	m, err := Train(x, y, 2, core.Config{
+		Kernel: kernel.Params{Type: kernel.Gaussian, Gamma: 0.1}, C: 10, Eps: 1e-2,
+		Heuristic: core.Multi5pc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 98 {
+		t.Fatalf("10-class training accuracy %v%%", acc)
+	}
+}

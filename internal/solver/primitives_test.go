@@ -1,0 +1,254 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInUpInLow(t *testing.T) {
+	const c = 10.0
+	cases := []struct {
+		y, alpha    float64
+		inUp, inLow bool
+	}{
+		{+1, 0, true, false}, // I1
+		{+1, 5, true, true},  // I0
+		{+1, c, false, true}, // I3
+		{-1, 0, false, true}, // I4
+		{-1, 5, true, true},  // I0
+		{-1, c, true, false}, // I2
+	}
+	for _, tc := range cases {
+		if got := InUp(tc.y, tc.alpha, c); got != tc.inUp {
+			t.Errorf("InUp(%v,%v) = %v", tc.y, tc.alpha, got)
+		}
+		if got := InLow(tc.y, tc.alpha, c); got != tc.inLow {
+			t.Errorf("InLow(%v,%v) = %v", tc.y, tc.alpha, got)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	const c = 4.0
+	cases := []struct {
+		y, alpha float64
+		want     IndexSet
+	}{
+		{+1, 2, I0}, {-1, 2, I0},
+		{+1, 0, I1}, {-1, c, I2},
+		{+1, c, I3}, {-1, 0, I4},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.y, tc.alpha, c); got != tc.want {
+			t.Errorf("Classify(%v, %v) = %v, want %v", tc.y, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+// Every sample belongs to I_up or I_low (or both, iff free): the paper's
+// Eq. 4 partition is exhaustive.
+func TestIndexSetsCoverQuick(t *testing.T) {
+	const c = 3.0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		y := 1.0
+		if rng.Intn(2) == 0 {
+			y = -1
+		}
+		alpha := []float64{0, c, c * rng.Float64()}[rng.Intn(3)]
+		up, low := InUp(y, alpha, c), InLow(y, alpha, c)
+		if !up && !low {
+			return false
+		}
+		set := Classify(y, alpha, c)
+		if set == I0 && !(up && low) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizePairSimple(t *testing.T) {
+	// Two samples y=+1 (up) and y=-1 (low), both alpha=0, identity kernel
+	// block (kUU=kLL=1, kUL=0 -> eta=2). gammaUp=-1, gammaLow=+1 as at
+	// initialization. t* = (-1-1)/2 = -1; feasibility allows it for C >= 1.
+	st := OptimizePair(-1, 1, +1, -1, 0, 0, 1, 1, 0, 10)
+	if st.T != -1 {
+		t.Fatalf("t = %v, want -1", st.T)
+	}
+	// alphaLow += yLow*t = (-1)(-1) = +1; alphaUp -= yUp*t = 0-(-1) = +1.
+	if st.NewAlphaLow != 1 || st.NewAlphaUp != 1 {
+		t.Fatalf("alphas = %v, %v, want 1, 1", st.NewAlphaLow, st.NewAlphaUp)
+	}
+}
+
+func TestOptimizePairClipsToBox(t *testing.T) {
+	// Same geometry but C=0.5: the step must clip so alphas hit exactly C.
+	st := OptimizePair(-1, 1, +1, -1, 0, 0, 1, 1, 0, 0.5)
+	if st.NewAlphaLow != 0.5 || st.NewAlphaUp != 0.5 {
+		t.Fatalf("alphas = %v, %v, want exactly 0.5", st.NewAlphaLow, st.NewAlphaUp)
+	}
+	if st.T != -0.5 {
+		t.Fatalf("t = %v, want -0.5", st.T)
+	}
+}
+
+func TestOptimizePairDegenerateEta(t *testing.T) {
+	// Duplicate samples: kUU=kLL=kUL=1 -> eta=0 -> Tau floor; the huge raw
+	// step must still clip into the box.
+	st := OptimizePair(-1, 1, +1, -1, 0, 0, 1, 1, 1, 2)
+	if st.NewAlphaLow < 0 || st.NewAlphaLow > 2 || st.NewAlphaUp < 0 || st.NewAlphaUp > 2 {
+		t.Fatalf("alphas out of box: %v, %v", st.NewAlphaLow, st.NewAlphaUp)
+	}
+	if st.NewAlphaLow != 2 || st.NewAlphaUp != 2 {
+		t.Fatalf("degenerate step should saturate at C: %v, %v", st.NewAlphaLow, st.NewAlphaUp)
+	}
+}
+
+// Property: OptimizePair never leaves the box, never moves a non-violating
+// pair backwards, preserves the equality constraint, and for violating
+// pairs makes strict progress unless the box blocks it.
+func TestOptimizePairInvariantsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 0.5 + 10*rng.Float64()
+		yU, yL := 1.0, 1.0
+		if rng.Intn(2) == 0 {
+			yU = -1
+		}
+		if rng.Intn(2) == 0 {
+			yL = -1
+		}
+		aU, aL := c*rng.Float64(), c*rng.Float64()
+		switch rng.Intn(3) { // sometimes start exactly at bounds
+		case 0:
+			aU = 0
+		case 1:
+			aL = c
+		}
+		// A PSD 2x2 kernel block: K = B^T B for random B.
+		b11, b12, b21, b22 := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		kUU := b11*b11 + b21*b21
+		kLL := b12*b12 + b22*b22
+		kUL := b11*b12 + b21*b22
+		gU := rng.NormFloat64()
+		gL := gU + rng.Float64()*3 // gammaLow >= gammaUp: violating or tied
+
+		st := OptimizePair(gU, gL, yU, yL, aU, aL, kUU, kLL, kUL, c)
+		// Box.
+		if st.NewAlphaUp < 0 || st.NewAlphaUp > c || st.NewAlphaLow < 0 || st.NewAlphaLow > c {
+			return false
+		}
+		// Step direction: for gU < gL, t <= 0.
+		if gU < gL && st.T > 0 {
+			return false
+		}
+		// Equality constraint: yU*dAlphaUp + yL*dAlphaLow == 0 (up to the
+		// boundary snap tolerance).
+		if d := yU*st.DeltaUp + yL*st.DeltaLow; math.Abs(d) > 1e-9*c {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradientDelta(t *testing.T) {
+	// gamma_i += t*(K(low,i) - K(up,i))
+	if got := GradientDelta(-2, 0.25, 0.75); got != -1 {
+		t.Fatalf("GradientDelta = %v, want -1", got)
+	}
+	if got := GradientDelta(0, 0.9, 0.1); got != 0 {
+		t.Fatalf("zero step must not change gradients: %v", got)
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if got := Threshold(6, 3, -1, 1); got != 2 {
+		t.Fatalf("free-set mean = %v, want 2", got)
+	}
+	if got := Threshold(0, 0, -1, 3); got != 1 {
+		t.Fatalf("midpoint = %v, want 1", got)
+	}
+}
+
+func TestConverged(t *testing.T) {
+	// beta_up + 2*eps >= beta_low
+	if !Converged(0, 0.002, 1e-3) {
+		t.Fatal("boundary case should converge")
+	}
+	if Converged(0, 0.0021, 1e-3) {
+		t.Fatal("violated case should not converge")
+	}
+	if !Converged(math.Inf(1), math.Inf(-1), 1e-3) {
+		t.Fatal("empty index sets should report convergence")
+	}
+}
+
+func TestShrinkableNeverFreeSet(t *testing.T) {
+	for _, g := range []float64{-100, 0, 100} {
+		if Shrinkable(I0, g, -1, 1) {
+			t.Fatalf("free sample with gamma %v shrunk", g)
+		}
+	}
+}
+
+func TestDualObjective(t *testing.T) {
+	// Hand check: alpha = (1, 2), y = (+1, -1), gamma = (0.5, -0.25).
+	// W = 1/2*[1*(1-0.5) + 2*(1-0.25)] = 1/2*(0.5+1.5) = 1.
+	got := DualObjective([]float64{1, 2}, []float64{1, -1}, []float64{0.5, -0.25})
+	if math.Abs(got-1) > 1e-15 {
+		t.Fatalf("W = %v, want 1", got)
+	}
+	if DualObjective(nil, nil, nil) != 0 {
+		t.Fatal("empty objective != 0")
+	}
+}
+
+// Property: the analytic step maximizes the dual along the feasible
+// direction — any perturbation of t within the box must not increase W.
+// The change in W along t is dW = (gU-gL)*t - 0.5*eta*t^2.
+func TestStepIsOptimalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := 1 + 5*rng.Float64()
+		yU, yL := 1.0, -1.0
+		aU, aL := c*rng.Float64(), c*rng.Float64()
+		b11, b12, b21, b22 := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		kUU := b11*b11 + b21*b21 + 0.1 // keep eta clearly positive
+		kLL := b12*b12 + b22*b22 + 0.1
+		kUL := b11*b12 + b21*b22
+		eta := kUU + kLL - 2*kUL
+		if eta <= Tau {
+			return true
+		}
+		gU := rng.NormFloat64()
+		gL := gU + rng.Float64()*2
+		st := OptimizePair(gU, gL, yU, yL, aU, aL, kUU, kLL, kUL, c)
+		dW := func(tt float64) float64 { return (gU-gL)*tt - 0.5*eta*tt*tt }
+		best := dW(st.T)
+		for _, scale := range []float64{0.5, 0.9, 0.99, 1.01, 1.1} {
+			tt := st.T * scale
+			// Only compare feasible perturbations.
+			nl := aL + yL*tt
+			nu := aU - yU*tt
+			if nl < 0 || nl > c || nu < 0 || nu > c {
+				continue
+			}
+			if dW(tt) > best+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
