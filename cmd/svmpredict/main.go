@@ -11,7 +11,7 @@ import (
 	"os"
 
 	"repro/internal/dataset"
-	"repro/internal/model"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -34,7 +34,10 @@ func run() error {
 		return fmt.Errorf("-data is required")
 	}
 
-	m, err := model.Load(*modelPath)
+	// serve.LoadModel (shared with cmd/svmserve) validates the model file
+	// up front, so a corrupted model is a clean non-zero exit before any
+	// data is read — never a partial run.
+	m, err := serve.LoadModel(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -42,7 +45,6 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	m.WarmNorms()
 
 	var out *bufio.Writer
 	if *outPath != "" {

@@ -1,0 +1,113 @@
+// Command svmserve serves trained SVM models over HTTP with batched
+// prediction, model hot-reload, and Prometheus-text metrics.
+//
+//	svmserve -addr :8080 -model svm.model
+//	svmserve -model fraud=fraud.model -model spam=spam.model
+//
+// Endpoints:
+//
+//	POST /v1/predict                 JSON or libsvm rows, single or batch
+//	POST /v1/models/{name}/reload    atomically re-read the model file
+//	GET  /v1/models                  registered models and stats
+//	GET  /healthz                    liveness
+//	GET  /metrics                    Prometheus text format
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the listener closes and
+// in-flight requests drain before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model flags, each "path" (served as
+// "default" for the first, the file basename for later ones) or
+// "name=path".
+type modelFlags []struct{ name, path string }
+
+func (f *modelFlags) String() string { return fmt.Sprintf("%d models", len(*f)) }
+
+func (f *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		path = v
+		if len(*f) == 0 {
+			name = "default"
+		} else {
+			name = strings.TrimSuffix(strings.TrimSuffix(pathBase(path), ".model"), ".txt")
+		}
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("want -model path or -model name=path, got %q", v)
+	}
+	*f = append(*f, struct{ name, path string }{name, path})
+	return nil
+}
+
+func pathBase(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "svmserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var models modelFlags
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "prediction worker pool size (0 = GOMAXPROCS)")
+		maxBatch = flag.Int("max-batch", 4096, "max rows per predict request")
+		drain    = flag.Duration("drain", 0, "graceful shutdown drain timeout (0 = 10s default)")
+	)
+	flag.Var(&models, "model", "model file to serve: path or name=path (repeatable)")
+	flag.Parse()
+	if len(models) == 0 {
+		return fmt.Errorf("at least one -model is required")
+	}
+
+	reg := serve.NewRegistry()
+	for _, m := range models {
+		if err := reg.Add(m.name, m.path); err != nil {
+			return err
+		}
+		snap, _ := reg.Get(m.name)
+		log.Printf("loaded model %q from %s (%d SVs, kernel %s, calibrated=%v)",
+			m.name, m.path, snap.Model.NumSV(), snap.Model.Kernel, snap.Model.HasProb)
+	}
+
+	srv := serve.New(reg, serve.Config{Workers: *workers, MaxBatch: *maxBatch, DrainTimeout: *drain})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %d model(s) on %s", reg.Len(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Print("shutdown signal received, draining in-flight requests")
+	}()
+	if err := srv.Serve(ctx, ln); err != nil {
+		return err
+	}
+	log.Print("drained cleanly, bye")
+	return nil
+}

@@ -30,9 +30,17 @@ func EvaluateParallel(m *model.Model, x *sparse.Matrix, y []float64, p int) (mod
 	results := make([]model.Metrics, p)
 	err := mpi.Run(p, func(c *mpi.Comm) error {
 		lo, hi := BlockRange(x.Rows(), p, c.Rank())
+		// Each rank scores its block through the shared batch hot loop
+		// (model.PredictBatch over a zero-copy row-range view); the ranks
+		// themselves are the parallelism, so one worker per rank.
+		block, err := x.RowRangeView(lo, hi)
+		if err != nil {
+			return err
+		}
+		preds := m.PredictBatch(block, 1)
 		counts := []int{0, 0, 0, 0} // TP, TN, FP, FN
-		for i := lo; i < hi; i++ {
-			pred := m.Predict(x.RowView(i))
+		for k, pred := range preds {
+			i := lo + k
 			switch {
 			case pred > 0 && y[i] > 0:
 				counts[0]++

@@ -11,14 +11,74 @@ import (
 	"repro/internal/sparse"
 )
 
-// ReadLibsvm parses the libsvm text format:
+// ParseLine parses one libsvm data line:
 //
 //	<label> <index>:<value> <index>:<value> ...
 //
-// Indices are 1-based and must be strictly increasing within a line (the
-// format used by the libsvm dataset page). Labels other than +1/-1 are
-// accepted and mapped: positive labels (and "+1") to +1, everything else
-// to -1, matching the common binary-task convention for these datasets.
+// Indices are 1-based and must be strictly increasing within the line (the
+// format used by the libsvm dataset page); the returned row uses 0-based
+// indices as everywhere else in the repository. The label is returned raw —
+// callers decide whether to sign-map it (ReadLibsvm) or keep it (multiclass
+// data). Errors name the offending token so request decoders (the serving
+// path) can surface them verbatim.
+func ParseLine(line string) (float64, sparse.Row, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return 0, sparse.Row{}, fmt.Errorf("empty line")
+	}
+	label, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, sparse.Row{}, fmt.Errorf("label %q: %w", fields[0], err)
+	}
+	row, err := parseFeatures(fields[1:])
+	if err != nil {
+		return 0, sparse.Row{}, err
+	}
+	return label, row, nil
+}
+
+// ParseRow parses a bare libsvm feature row with no leading label:
+//
+//	<index>:<value> <index>:<value> ...
+//
+// This is the request format the inference server accepts; an empty line
+// yields an empty (all-zero) row.
+func ParseRow(line string) (sparse.Row, error) {
+	return parseFeatures(strings.Fields(line))
+}
+
+// parseFeatures converts "<idx>:<val>" tokens into a sparse row, enforcing
+// 1-based strictly-increasing indices and finite-parseable values.
+func parseFeatures(fields []string) (sparse.Row, error) {
+	var row sparse.Row
+	prev := 0
+	for _, f := range fields {
+		idxStr, valStr, ok := strings.Cut(f, ":")
+		if !ok {
+			return sparse.Row{}, fmt.Errorf("malformed feature %q (want index:value)", f)
+		}
+		idx, err := strconv.Atoi(idxStr)
+		if err != nil || idx < 1 {
+			return sparse.Row{}, fmt.Errorf("feature index %q (want integer >= 1)", idxStr)
+		}
+		if idx <= prev {
+			return sparse.Row{}, fmt.Errorf("non-increasing feature index %d after %d", idx, prev)
+		}
+		prev = idx
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return sparse.Row{}, fmt.Errorf("feature value %q: %w", valStr, err)
+		}
+		row.Idx = append(row.Idx, int32(idx-1))
+		row.Val = append(row.Val, val)
+	}
+	return row, nil
+}
+
+// ReadLibsvm parses the libsvm text format, one ParseLine per data line.
+// Labels other than +1/-1 are accepted and mapped: positive labels (and
+// "+1") to +1, everything else to -1, matching the common binary-task
+// convention for these datasets.
 func ReadLibsvm(r io.Reader) (*sparse.Matrix, []float64, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
@@ -31,37 +91,16 @@ func ReadLibsvm(r io.Reader) (*sparse.Matrix, []float64, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		fields := strings.Fields(line)
-		label, err := strconv.ParseFloat(fields[0], 64)
+		label, row, err := ParseLine(line)
 		if err != nil {
-			return nil, nil, fmt.Errorf("libsvm: line %d: label %q: %w", lineNo, fields[0], err)
+			return nil, nil, fmt.Errorf("libsvm: line %d: %w", lineNo, err)
 		}
 		if label > 0 {
 			y = append(y, 1)
 		} else {
 			y = append(y, -1)
 		}
-		prev := 0
-		for _, f := range fields[1:] {
-			idxStr, valStr, ok := strings.Cut(f, ":")
-			if !ok {
-				return nil, nil, fmt.Errorf("libsvm: line %d: malformed feature %q", lineNo, f)
-			}
-			idx, err := strconv.Atoi(idxStr)
-			if err != nil || idx < 1 {
-				return nil, nil, fmt.Errorf("libsvm: line %d: feature index %q", lineNo, idxStr)
-			}
-			if idx <= prev {
-				return nil, nil, fmt.Errorf("libsvm: line %d: non-increasing feature index %d", lineNo, idx)
-			}
-			prev = idx
-			val, err := strconv.ParseFloat(valStr, 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("libsvm: line %d: feature value %q: %w", lineNo, valStr, err)
-			}
-			b.Add(idx-1, val)
-		}
-		b.EndRow()
+		b.AddRow(row.Idx, row.Val)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, fmt.Errorf("libsvm: %w", err)

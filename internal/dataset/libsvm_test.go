@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	label, row, err := ParseLine("3 1:0.5 4:-2 10:1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != 3 {
+		t.Fatalf("label = %v", label)
+	}
+	if len(row.Idx) != 3 || row.Idx[0] != 0 || row.Idx[1] != 3 || row.Idx[2] != 9 {
+		t.Fatalf("indices = %v", row.Idx)
+	}
+	if row.Val[0] != 0.5 || row.Val[1] != -2 || row.Val[2] != 1e-3 {
+		t.Fatalf("values = %v", row.Val)
+	}
+	// A label-only line is a valid all-zero sample.
+	label, row, err = ParseLine("-1")
+	if err != nil || label != -1 || len(row.Idx) != 0 {
+		t.Fatalf("label-only line: %v %v %v", label, row, err)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	cases := []struct {
+		line, want string
+	}{
+		{"", "empty line"},
+		{"x 1:2", `label "x"`},
+		{"1 1:2 nocolon", "malformed feature"},
+		{"1 0:2", `feature index "0"`},
+		{"1 -3:2", `feature index "-3"`},
+		{"1 a:2", `feature index "a"`},
+		{"1 2:1 2:3", "non-increasing feature index 2"},
+		{"1 5:1 3:3", "non-increasing feature index 3"},
+		{"1 1:zzz", `feature value "zzz"`},
+	}
+	for _, tc := range cases {
+		_, _, err := ParseLine(tc.line)
+		if err == nil {
+			t.Errorf("ParseLine(%q) accepted", tc.line)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseLine(%q) error %q, want it to mention %q", tc.line, err, tc.want)
+		}
+	}
+}
+
+func TestParseRow(t *testing.T) {
+	row, err := ParseRow("2:1.5 7:-0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Idx) != 2 || row.Idx[0] != 1 || row.Idx[1] != 6 {
+		t.Fatalf("indices = %v", row.Idx)
+	}
+	// Empty input is an empty row, not an error (all-zero sample).
+	row, err = ParseRow("   ")
+	if err != nil || len(row.Idx) != 0 {
+		t.Fatalf("empty row: %v %v", row, err)
+	}
+	if _, err := ParseRow("1:2 junk"); err == nil {
+		t.Fatal("malformed row accepted")
+	}
+	// ParseRow does not accept a leading label — that's ParseLine's job.
+	if _, err := ParseRow("+1 1:2"); err == nil {
+		t.Fatal("labeled row accepted by ParseRow")
+	}
+}
+
+func TestReadLibsvmReportsLineNumbers(t *testing.T) {
+	in := "+1 1:1\n# comment\n\n-1 1:0.5 2:bad\n"
+	_, _, err := ReadLibsvm(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("err = %v, want line 4 context", err)
+	}
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sparse"
+)
+
+// Batch prediction: the kernel-evaluation loop shared by every bulk scoring
+// path in the repository — the inference server (internal/serve), the
+// distributed evaluation harness (core.EvaluateParallel), and Platt
+// calibration (internal/probability). Prediction cost is dominated by
+// kernel evaluations against the support-vector set, so rows are fanned out
+// across a bounded worker pool in contiguous chunks: each worker streams
+// through the CSR payload of its chunk while dynamic chunk claiming keeps
+// load balanced when row lengths vary.
+
+// batchChunk is the number of rows a worker claims at a time. Small enough
+// to balance skewed row lengths, large enough that the atomic claim is
+// negligible next to NumSV kernel evaluations per row.
+const batchChunk = 16
+
+// DecisionValues computes the decision function for every row of x using at
+// most workers goroutines. workers <= 0 selects GOMAXPROCS. The
+// support-vector norm cache is warmed once before any worker starts, so the
+// call is safe regardless of prior WarmNorms calls.
+func (m *Model) DecisionValues(x *sparse.Matrix, workers int) []float64 {
+	out := make([]float64, x.Rows())
+	m.decisionValuesInto(x, workers, out)
+	return out
+}
+
+// PredictBatch classifies every row of x (+1/-1) using at most workers
+// goroutines; it shares the kernel-evaluation loop with DecisionValues.
+func (m *Model) PredictBatch(x *sparse.Matrix, workers int) []float64 {
+	out := m.DecisionValues(x, workers)
+	for i, v := range out {
+		if v >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64) {
+	n := x.Rows()
+	if n == 0 {
+		return
+	}
+	m.WarmNorms()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + batchChunk - 1) / batchChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		m.decisionRange(x, 0, n, out)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(batchChunk)) - batchChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + batchChunk
+				if hi > n {
+					hi = n
+				}
+				m.decisionRange(x, lo, hi, out)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// decisionRange scores rows [lo, hi) of x into out — the single hot loop
+// every batch path funnels through. Requires warmed norms when called from
+// multiple goroutines.
+func (m *Model) decisionRange(x *sparse.Matrix, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
+		out[i] = m.DecisionValue(x.RowView(i))
+	}
+}

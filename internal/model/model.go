@@ -124,12 +124,27 @@ func (m *Model) Probability(x sparse.Row) (float64, bool) {
 	if !m.HasProb {
 		return 0, false
 	}
-	fApB := m.ProbA*m.DecisionValue(x) + m.ProbB
+	return m.probFromDecision(m.DecisionValue(x)), true
+}
+
+// ProbabilityFromDecision maps an already-computed decision value through
+// the model's Platt sigmoid. Batch callers (the inference server) compute
+// decision values once via DecisionValues and derive label + probability
+// from them without re-evaluating kernels.
+func (m *Model) ProbabilityFromDecision(f float64) (float64, bool) {
+	if !m.HasProb {
+		return 0, false
+	}
+	return m.probFromDecision(f), true
+}
+
+func (m *Model) probFromDecision(f float64) float64 {
+	fApB := m.ProbA*f + m.ProbB
 	if fApB >= 0 {
 		e := math.Exp(-fApB)
-		return e / (1 + e), true
+		return e / (1 + e)
 	}
-	return 1 / (1 + math.Exp(fApB)), true
+	return 1 / (1 + math.Exp(fApB))
 }
 
 // Predict classifies one sample, returning +1 or -1.

@@ -3,6 +3,7 @@ package model
 import (
 	"bytes"
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -249,6 +250,61 @@ func TestProbabilityConsistentWithPrediction(t *testing.T) {
 		pred := m.Predict(x)
 		if (p > 0.5) != (pred > 0) {
 			t.Fatalf("probability %v disagrees with prediction %v at x=%v", p, pred, v)
+		}
+	}
+}
+
+func TestCalibratedSaveLoadFileRoundTrip(t *testing.T) {
+	m := handModel()
+	m.ProbA, m.ProbB, m.HasProb = -2.25, 0.125, true
+	path := t.TempDir() + "/cal.model"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.HasProb || m2.ProbA != m.ProbA || m2.ProbB != m.ProbB {
+		t.Fatalf("calibration lost across file round trip: %+v", m2)
+	}
+	x := sparse.FromDense([][]float64{{0.2}}).RowView(0)
+	p1, _ := m.Probability(x)
+	p2, _ := m2.Probability(x)
+	if math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("probability %v != %v after round trip", p1, p2)
+	}
+}
+
+// TestLoadRejectsCorruptedFiles covers the load-time validation the serving
+// path relies on: a bad model file must fail Load, never surface at
+// request time.
+func TestLoadRejectsCorruptedFiles(t *testing.T) {
+	good := handModel()
+	var buf bytes.Buffer
+	if err := good.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	cases := map[string]string{
+		"truncated header":   text[:20],
+		"nan coefficient":    strings.Replace(text, "\n-1 ", "\nNaN ", 1),
+		"infinite sv value":  strings.Replace(text, "1:1", "1:+Inf", 1),
+		"zero coefficient":   strings.Replace(text, "\n-1 ", "\n0 ", 1),
+		"coef exceeds C":     strings.Replace(text, "\n-1 ", "\n-1e6 ", 1),
+		"sv count mismatch":  strings.Replace(text, "total_sv 2", "total_sv 7", 1),
+		"negative gamma":     strings.Replace(text, "gamma 1", "gamma -3", 1),
+		"binary garbage":     "\x00\x01\x02 not a model",
+		"missing SV section": strings.SplitN(text, "SV\n", 2)[0],
+	}
+	dir := t.TempDir()
+	for name, content := range cases {
+		path := dir + "/" + strings.ReplaceAll(name, " ", "_") + ".model"
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("%s: corrupted model file loaded", name)
 		}
 	}
 }

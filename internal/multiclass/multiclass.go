@@ -95,6 +95,30 @@ func (m *Model) Predict(x sparse.Row) float64 {
 	return best
 }
 
+// PredictBatch classifies every row of x, fanning the per-machine decision
+// values through model.PredictBatch/DecisionValues' bounded worker pool
+// (workers <= 0 selects GOMAXPROCS). Ties break to the smaller class label,
+// matching Predict.
+func (m *Model) PredictBatch(x *sparse.Matrix, workers int) []float64 {
+	if len(m.Classes) == 2 && m.Binary[0] == nil {
+		return m.Binary[1].PredictBatch(x, workers)
+	}
+	best := make([]float64, x.Rows())
+	bestVal := m.Binary[0].DecisionValues(x, workers)
+	for i := range best {
+		best[i] = m.Classes[0]
+	}
+	for ci := 1; ci < len(m.Classes); ci++ {
+		dv := m.Binary[ci].DecisionValues(x, workers)
+		for i, v := range dv {
+			if v > bestVal[i] {
+				best[i], bestVal[i] = m.Classes[ci], v
+			}
+		}
+	}
+	return best
+}
+
 // Evaluate returns the fraction of correct predictions, in percent.
 func (m *Model) Evaluate(x *sparse.Matrix, y []float64) (float64, error) {
 	if x.Rows() != len(y) {
@@ -103,9 +127,10 @@ func (m *Model) Evaluate(x *sparse.Matrix, y []float64) (float64, error) {
 	if x.Rows() == 0 {
 		return 0, nil
 	}
+	preds := m.PredictBatch(x, 0)
 	correct := 0
-	for i := 0; i < x.Rows(); i++ {
-		if m.Predict(x.RowView(i)) == y[i] {
+	for i, p := range preds {
+		if p == y[i] {
 			correct++
 		}
 	}

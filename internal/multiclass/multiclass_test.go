@@ -3,11 +3,13 @@ package multiclass
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
+	"repro/internal/model"
 	"repro/internal/sparse"
 )
 
@@ -147,5 +149,146 @@ func TestTenClassDigitsLike(t *testing.T) {
 	}
 	if acc < 98 {
 		t.Fatalf("10-class training accuracy %v%%", acc)
+	}
+}
+
+// handEnsemble builds a tiny 3-class ensemble by hand (no training) so
+// serialization tests stay fast and deterministic.
+func handEnsemble() *Model {
+	mk := func(beta float64) *model.Model {
+		return &model.Model{
+			Kernel:       kernel.Params{Type: kernel.Gaussian, Gamma: 1},
+			C:            10,
+			SV:           sparse.FromDense([][]float64{{-1, 0}, {1, 0.5}}),
+			Coef:         []float64{-1, 1},
+			Beta:         beta,
+			TrainSamples: 10,
+		}
+	}
+	return &Model{
+		Classes: []float64{0, 1, 2},
+		Binary:  []*model.Model{mk(-0.2), mk(0), mk(0.3)},
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := handEnsemble()
+	// Give one machine Platt parameters to check they survive embedding.
+	m.Binary[1].ProbA, m.Binary[1].ProbB, m.Binary[1].HasProb = -1.5, 0.25, true
+	path := t.TempDir() + "/ens.model"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Classes) != 3 || m2.Classes[0] != 0 || m2.Classes[2] != 2 {
+		t.Fatalf("classes = %v", m2.Classes)
+	}
+	if !m2.Binary[1].HasProb || m2.Binary[1].ProbA != -1.5 {
+		t.Fatalf("Platt parameters lost: %+v", m2.Binary[1])
+	}
+	x := sparse.FromDense([][]float64{{-1.2, 0.1}, {0.9, 0.4}, {0.1, -0.3}})
+	for i := 0; i < x.Rows(); i++ {
+		row := x.RowView(i)
+		if m.Predict(row) != m2.Predict(row) {
+			t.Fatalf("prediction diverged after round trip at row %d", i)
+		}
+	}
+}
+
+func TestSerializeBinaryFastPathRoundTrip(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.15)
+	c := cfg()
+	c.Kernel = kernel.FromSigma2(ds.Sigma2)
+	c.C = ds.C
+	m, err := Train(ds.X, ds.Y, 2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Binary[0] != nil {
+		t.Fatal("expected binary fast path")
+	}
+	path := t.TempDir() + "/bin.model"
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Binary[0] != nil || len(m2.Classes) != 2 {
+		t.Fatalf("fast path not restored: %+v", m2.Classes)
+	}
+	for i := 0; i < ds.TestX.Rows(); i++ {
+		row := ds.TestX.RowView(i)
+		if m.Predict(row) != m2.Predict(row) {
+			t.Fatalf("prediction diverged after round trip at row %d", i)
+		}
+	}
+}
+
+func TestReadRejectsCorrupted(t *testing.T) {
+	good := handEnsemble()
+	var buf strings.Builder
+	if err := good.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	cases := map[string]string{
+		"wrong svm_type":   strings.Replace(text, "one_vs_rest", "nu_svc", 1),
+		"class count":      strings.Replace(text, "classes 3", "classes 4", 1),
+		"unterminated":     strings.TrimSuffix(strings.TrimSpace(text), "end_class"),
+		"unknown key":      "svm_type one_vs_rest\nclasses 2\nwat 1\n",
+		"bad class label":  strings.Replace(text, "class 1\n", "class one\n", 1),
+		"corrupt embedded": strings.Replace(text, "kernel_type rbf", "kernel_type warp", 1),
+		"empty":            "",
+	}
+	for name, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("%s: corrupted ensemble accepted", name)
+		}
+	}
+}
+
+func TestValidateEnsemble(t *testing.T) {
+	if err := handEnsemble().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"too few classes", func(m *Model) { m.Classes = m.Classes[:1]; m.Binary = m.Binary[:1] }},
+		{"count mismatch", func(m *Model) { m.Binary = m.Binary[:2] }},
+		{"unsorted classes", func(m *Model) { m.Classes[0], m.Classes[1] = m.Classes[1], m.Classes[0] }},
+		{"nil machine", func(m *Model) { m.Binary[2] = nil }},
+		{"bad machine", func(m *Model) { m.Binary[0].Coef[0] = 0 }},
+	}
+	for _, tc := range cases {
+		m := handEnsemble()
+		tc.mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	m := handEnsemble()
+	rng := rand.New(rand.NewSource(11))
+	d := make([][]float64, 57)
+	for i := range d {
+		d[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	x := sparse.FromDense(d)
+	for _, workers := range []int{1, 3, 0} {
+		got := m.PredictBatch(x, workers)
+		for i := range got {
+			if want := m.Predict(x.RowView(i)); got[i] != want {
+				t.Fatalf("workers=%d row %d: %v != %v", workers, i, got[i], want)
+			}
+		}
 	}
 }

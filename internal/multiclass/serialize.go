@@ -1,0 +1,181 @@
+package multiclass
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// The on-disk format wraps one binary model file (internal/model's text
+// format) per one-vs-rest machine:
+//
+//	svm_type one_vs_rest
+//	classes <k>
+//	binary_fastpath true          (only for the plain ±1 binary case)
+//	class <label>
+//	<model text as written by model.(*Model).Write>
+//	end_class
+//	... one class section per machine ...
+//
+// "end_class" can never appear inside a binary model section (those lines
+// are key/value headers and coef idx:val rows), so sections are
+// self-delimiting and the embedded parser is model.Read unchanged.
+
+// Validate checks structural invariants of the ensemble, including every
+// embedded binary machine. Used by loaders so a bad ensemble file is
+// rejected at load time, not at request time.
+func (m *Model) Validate() error {
+	if len(m.Classes) < 2 {
+		return fmt.Errorf("multiclass: %d classes, need at least 2", len(m.Classes))
+	}
+	if len(m.Binary) != len(m.Classes) {
+		return fmt.Errorf("multiclass: %d machines for %d classes", len(m.Binary), len(m.Classes))
+	}
+	for i := 1; i < len(m.Classes); i++ {
+		if m.Classes[i] <= m.Classes[i-1] {
+			return fmt.Errorf("multiclass: class labels not strictly increasing: %v", m.Classes)
+		}
+	}
+	for ci, b := range m.Binary {
+		if b == nil {
+			// Only the binary fast path stores a nil machine: classes
+			// exactly {-1, +1} with Binary[1] doing the work.
+			if len(m.Classes) == 2 && ci == 0 && m.Classes[0] == -1 && m.Classes[1] == 1 && m.Binary[1] != nil {
+				continue
+			}
+			return fmt.Errorf("multiclass: nil machine for class %v", m.Classes[ci])
+		}
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("multiclass: class %v: %w", m.Classes[ci], err)
+		}
+	}
+	return nil
+}
+
+// Write serializes the ensemble to w.
+func (m *Model) Write(w io.Writer) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "svm_type one_vs_rest")
+	fmt.Fprintf(bw, "classes %d\n", len(m.Classes))
+	if m.Binary[0] == nil {
+		fmt.Fprintln(bw, "binary_fastpath true")
+	}
+	for ci, b := range m.Binary {
+		if b == nil {
+			continue
+		}
+		fmt.Fprintf(bw, "class %v\n", m.Classes[ci])
+		if err := b.Write(bw); err != nil {
+			return fmt.Errorf("multiclass: class %v: %w", m.Classes[ci], err)
+		}
+		fmt.Fprintln(bw, "end_class")
+	}
+	return bw.Flush()
+}
+
+// Read parses an ensemble previously written by Write.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	m := &Model{}
+	nClasses := -1
+	fastpath := false
+	var curClass *float64
+	var section strings.Builder
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if curClass != nil {
+			if line == "end_class" {
+				b, err := model.Read(strings.NewReader(section.String()))
+				if err != nil {
+					return nil, fmt.Errorf("multiclass: class %v: %w", *curClass, err)
+				}
+				m.Classes = append(m.Classes, *curClass)
+				m.Binary = append(m.Binary, b)
+				curClass = nil
+				section.Reset()
+				continue
+			}
+			section.WriteString(line)
+			section.WriteByte('\n')
+			continue
+		}
+		key, val, _ := strings.Cut(line, " ")
+		switch key {
+		case "svm_type":
+			if val != "one_vs_rest" {
+				return nil, fmt.Errorf("multiclass: unsupported svm_type %q", val)
+			}
+		case "classes":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("multiclass: classes: %w", err)
+			}
+			nClasses = n
+		case "binary_fastpath":
+			fastpath = val == "true"
+		case "class":
+			c, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("multiclass: class label %q: %w", val, err)
+			}
+			curClass = &c
+		default:
+			return nil, fmt.Errorf("multiclass: unknown header key %q", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("multiclass: read: %w", err)
+	}
+	if curClass != nil {
+		return nil, fmt.Errorf("multiclass: class %v section not terminated by end_class", *curClass)
+	}
+	if fastpath {
+		if len(m.Binary) != 1 {
+			return nil, fmt.Errorf("multiclass: binary fast path with %d machines, want 1", len(m.Binary))
+		}
+		m.Classes = []float64{-1, 1}
+		m.Binary = []*model.Model{nil, m.Binary[0]}
+	}
+	if nClasses >= 0 && len(m.Classes) != nClasses {
+		return nil, fmt.Errorf("multiclass: header declared %d classes, found %d", nClasses, len(m.Classes))
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Save writes the ensemble to a file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an ensemble from a file.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

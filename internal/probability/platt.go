@@ -152,11 +152,8 @@ func Calibrate(m *model.Model, x *sparse.Matrix, y []float64) (Sigmoid, error) {
 	if x.Rows() != len(y) {
 		return Sigmoid{}, fmt.Errorf("probability: %d rows for %d labels", x.Rows(), len(y))
 	}
-	m.WarmNorms()
-	dv := make([]float64, x.Rows())
-	for i := range dv {
-		dv[i] = m.DecisionValue(x.RowView(i))
-	}
+	// Score the calibration set through the shared batch hot loop.
+	dv := m.DecisionValues(x, 0)
 	return Fit(dv, y)
 }
 
@@ -183,9 +180,12 @@ func CalibrateCV(x *sparse.Matrix, y []float64, splits []cv.Split, train cv.Trai
 		if err != nil {
 			return Sigmoid{}, fmt.Errorf("probability: fold %d: %w", f, err)
 		}
-		m.WarmNorms()
+		teX, err := x.SelectRows(sp.TestIdx)
+		if err != nil {
+			return Sigmoid{}, fmt.Errorf("probability: fold %d: %w", f, err)
+		}
+		dv = append(dv, m.DecisionValues(teX, 0)...)
 		for _, i := range sp.TestIdx {
-			dv = append(dv, m.DecisionValue(x.RowView(i)))
 			lab = append(lab, y[i])
 		}
 	}

@@ -1,0 +1,167 @@
+// Package serve is the production inference side of the repository: it
+// loads trained models (internal/model files written by cmd/svmtrain) into
+// a concurrent registry and exposes them over HTTP with batched
+// prediction, atomic hot-reload, Prometheus-text metrics, and graceful
+// shutdown. The training stack produces the support-vector set; this
+// package is what answers traffic with it.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+)
+
+// LoadModel loads and fully validates a model file for serving, warming
+// the support-vector norm cache so concurrent DecisionValue calls are safe.
+// It is the one loader shared by cmd/svmserve and cmd/svmpredict: a file
+// that fails validation is rejected here, at load time, never at request
+// time.
+func LoadModel(path string) (*model.Model, error) {
+	m, err := model.Load(path)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: %w", path, err)
+	}
+	// model.Load validates on read; re-check here so the serving contract
+	// does not silently depend on that implementation detail.
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("model %s: %w", path, err)
+	}
+	m.WarmNorms()
+	return m, nil
+}
+
+// Snapshot is one immutable loaded model version. Request handlers grab
+// the current snapshot once and use it for the whole request, so a
+// concurrent reload never changes a prediction mid-request.
+type Snapshot struct {
+	Model    *model.Model
+	Path     string
+	LoadedAt time.Time
+	Version  uint64 // increments on every successful (re)load
+}
+
+// entry is one named model slot. The atomic.Pointer is the hot-reload
+// mechanism: readers Load it lock-free; Reload swaps in a fresh snapshot
+// after the new file parsed and validated, and in-flight requests keep the
+// snapshot they already hold.
+type entry struct {
+	path    string
+	ptr     atomic.Pointer[Snapshot]
+	version atomic.Uint64
+	// reloadMu serializes reloads of this entry so two concurrent reloads
+	// cannot interleave read-file/store-pointer and publish stale bytes.
+	reloadMu sync.Mutex
+}
+
+// Registry is a concurrent name -> model map. The entry set is fixed after
+// setup (Add); only the snapshots inside entries change at runtime, so
+// lookups take a read lock only on the map itself.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Add loads the model file at path and registers it under name. Adding a
+// name twice is an error (use Reload for updates).
+func (r *Registry) Add(name, path string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty model name")
+	}
+	m, err := LoadModel(path)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	e := &entry{path: path}
+	e.version.Store(1)
+	e.ptr.Store(&Snapshot{Model: m, Path: path, LoadedAt: time.Now(), Version: 1})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	r.entries[name] = e
+	return nil
+}
+
+// Get returns the current snapshot for name.
+func (r *Registry) Get(name string) (*Snapshot, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return e.ptr.Load(), true
+}
+
+// Reload re-reads the model file behind name and atomically publishes the
+// new snapshot. On any error the previous snapshot stays live — a bad file
+// on disk can never take down a serving model.
+func (r *Registry) Reload(name string) (*Snapshot, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	m, err := LoadModel(e.path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reload %q: %w", name, err)
+	}
+	snap := &Snapshot{Model: m, Path: e.path, LoadedAt: time.Now(), Version: e.version.Add(1)}
+	e.ptr.Store(snap)
+	return snap, nil
+}
+
+// Names lists the registered model names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Resolve picks the model a request addressed: the requested name when
+// given, the sole registered model when exactly one exists, else the
+// conventional default name "default".
+func (r *Registry) Resolve(requested string) (string, *Snapshot, error) {
+	if requested != "" {
+		s, ok := r.Get(requested)
+		if !ok {
+			return "", nil, fmt.Errorf("serve: unknown model %q", requested)
+		}
+		return requested, s, nil
+	}
+	names := r.Names()
+	if len(names) == 1 {
+		s, _ := r.Get(names[0])
+		return names[0], s, nil
+	}
+	if s, ok := r.Get("default"); ok {
+		return "default", s, nil
+	}
+	return "", nil, fmt.Errorf("serve: no model named in request and no \"default\" among %d models", len(names))
+}

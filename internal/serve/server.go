@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// Config tunes the server. The zero value is usable.
+type Config struct {
+	// Workers bounds the prediction worker pool per request; <= 0 selects
+	// GOMAXPROCS (see model.DecisionValues).
+	Workers int
+	// MaxBatch caps rows per predict request (default 4096).
+	MaxBatch int
+	// MaxBodyBytes caps the request body size (default 32 MiB).
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server serves the models in a Registry over HTTP.
+type Server struct {
+	reg   *Registry
+	cfg   Config
+	met   *metrics
+	start time.Time
+}
+
+// New builds a Server around an already-populated registry.
+func New(reg *Registry, cfg Config) *Server {
+	return &Server{reg: reg, cfg: cfg.withDefaults(), met: newMetrics(), start: time.Now()}
+}
+
+// Handler returns the routed HTTP handler:
+//
+//	GET  /healthz                    liveness + model count
+//	GET  /metrics                    Prometheus text metrics
+//	GET  /v1/models                  registered models and their stats
+//	POST /v1/predict                 single/batch prediction (JSON or libsvm rows)
+//	POST /v1/models/{name}/reload    atomic hot-reload from disk
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes shouldn't skew latency
+	mux.HandleFunc("GET /v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.HandleFunc("POST /v1/models/{name}/reload", s.instrument("/v1/models/reload", s.handleReload))
+	return mux
+}
+
+// Serve runs the handler on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight requests drain (bounded by
+// DrainTimeout), and Serve returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// statusRecorder captures the response code for the request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and the latency
+// histogram, keyed by a stable path label (no per-model cardinality).
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.latency.observe(time.Since(t0).Seconds())
+		s.met.requests.add(1, path, strconv.Itoa(rec.code))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"models":         s.reg.Len(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w)
+}
+
+// ModelInfo is one row of GET /v1/models.
+type ModelInfo struct {
+	Name         string  `json:"name"`
+	Path         string  `json:"path"`
+	Kernel       string  `json:"kernel"`
+	NumSV        int     `json:"num_sv"`
+	TrainSamples int     `json:"train_samples"`
+	Calibrated   bool    `json:"calibrated"`
+	Version      uint64  `json:"version"`
+	LoadedAt     string  `json:"loaded_at"`
+	Predictions  uint64  `json:"predictions"`
+	SVFraction   float64 `json:"sv_fraction"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	infos := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		snap, ok := s.reg.Get(n)
+		if !ok {
+			continue
+		}
+		m := snap.Model
+		infos = append(infos, ModelInfo{
+			Name:         n,
+			Path:         snap.Path,
+			Kernel:       m.Kernel.String(),
+			NumSV:        m.NumSV(),
+			TrainSamples: m.TrainSamples,
+			Calibrated:   m.HasProb,
+			Version:      snap.Version,
+			LoadedAt:     snap.LoadedAt.UTC().Format(time.RFC3339Nano),
+			Predictions:  s.met.predictions.get(n),
+			SVFraction:   m.SVFraction(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	snap, err := s.reg.Reload(name)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if _, ok := s.reg.Get(name); !ok {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.met.reloads.add(1, name)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"model":     name,
+		"version":   snap.Version,
+		"num_sv":    snap.Model.NumSV(),
+		"loaded_at": snap.LoadedAt.UTC().Format(time.RFC3339Nano),
+	})
+}
+
+// Instance is one sample in a predict request: either a sparse feature map
+// (1-based indices as JSON keys) or a libsvm-formatted feature row.
+type Instance struct {
+	Features map[string]float64 `json:"features,omitempty"`
+	Libsvm   string             `json:"libsvm,omitempty"`
+}
+
+// PredictRequest is the JSON body of POST /v1/predict. Single-sample
+// requests put features/libsvm at the top level; batches use instances.
+type PredictRequest struct {
+	Model     string             `json:"model,omitempty"`
+	Features  map[string]float64 `json:"features,omitempty"`
+	Libsvm    string             `json:"libsvm,omitempty"`
+	Instances []Instance         `json:"instances,omitempty"`
+}
+
+// Prediction is one row of a predict response.
+type Prediction struct {
+	Label       float64  `json:"label"`
+	Decision    float64  `json:"decision_value"`
+	Probability *float64 `json:"probability,omitempty"`
+}
+
+// PredictResponse is the JSON body answered by POST /v1/predict.
+type PredictResponse struct {
+	Model       string       `json:"model"`
+	Version     uint64       `json:"model_version"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	modelName, rows, err := s.decodePredict(r)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no instances in request")
+		return
+	}
+	if len(rows) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch of %d rows exceeds max %d", len(rows), s.cfg.MaxBatch)
+		return
+	}
+	name, snap, err := s.reg.Resolve(modelName)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+
+	// The snapshot grabbed above is used for the whole request: a
+	// concurrent hot-reload publishes a new pointer but cannot affect us.
+	m := snap.Model
+	b := sparse.NewBuilder(m.SV.Cols)
+	for _, row := range rows {
+		b.AddRow(row.Idx, row.Val)
+	}
+	x := b.Build()
+	dv := m.DecisionValues(x, s.cfg.Workers)
+
+	preds := make([]Prediction, len(dv))
+	for i, v := range dv {
+		preds[i].Decision = v
+		if v >= 0 {
+			preds[i].Label = 1
+		} else {
+			preds[i].Label = -1
+		}
+		if p, ok := m.ProbabilityFromDecision(v); ok {
+			preds[i].Probability = &p
+		}
+	}
+	s.met.batchSizes.observe(float64(len(dv)))
+	s.met.predictions.add(uint64(len(dv)), name)
+	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Version: snap.Version, Predictions: preds})
+}
+
+// decodePredict turns a request body into feature rows. JSON bodies use
+// PredictRequest; text/plain (or application/x-libsvm) bodies carry one
+// libsvm feature row per line, with an optional leading label that is
+// ignored (so saved test files can be POSTed as-is). The model may then
+// only be named via the ?model query parameter.
+func (s *Server) decodePredict(r *http.Request) (string, []sparse.Row, error) {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	if ct == "text/plain" || ct == "application/x-libsvm" {
+		rows, err := decodeLibsvmBody(r)
+		return r.URL.Query().Get("model"), rows, err
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", nil, fmt.Errorf("decode request: %w", err)
+	}
+	if req.Model == "" {
+		req.Model = r.URL.Query().Get("model")
+	}
+	single := req.Features != nil || req.Libsvm != ""
+	if single && len(req.Instances) > 0 {
+		return "", nil, errors.New("use either top-level features/libsvm or instances, not both")
+	}
+	if single {
+		req.Instances = []Instance{{Features: req.Features, Libsvm: req.Libsvm}}
+	}
+	rows := make([]sparse.Row, 0, len(req.Instances))
+	for i, inst := range req.Instances {
+		row, err := decodeInstance(inst)
+		if err != nil {
+			return "", nil, fmt.Errorf("instance %d: %w", i, err)
+		}
+		rows = append(rows, row)
+	}
+	return req.Model, rows, nil
+}
+
+func decodeInstance(inst Instance) (sparse.Row, error) {
+	if inst.Features != nil && inst.Libsvm != "" {
+		return sparse.Row{}, errors.New("has both features and libsvm")
+	}
+	if inst.Libsvm != "" {
+		return dataset.ParseRow(inst.Libsvm)
+	}
+	if inst.Features == nil {
+		return sparse.Row{}, errors.New("has neither features nor libsvm")
+	}
+	// JSON feature maps use 1-based indices like the libsvm format; order
+	// is undefined in JSON, so sort before building the row.
+	idx := make([]int, 0, len(inst.Features))
+	byIdx := make(map[int]float64, len(inst.Features))
+	for k, v := range inst.Features {
+		i, err := strconv.Atoi(k)
+		if err != nil || i < 1 {
+			return sparse.Row{}, fmt.Errorf("feature index %q (want integer >= 1)", k)
+		}
+		idx = append(idx, i)
+		byIdx[i] = v
+	}
+	sort.Ints(idx)
+	var row sparse.Row
+	for _, i := range idx {
+		row.Idx = append(row.Idx, int32(i-1))
+		row.Val = append(row.Val, byIdx[i])
+	}
+	return row, nil
+}
+
+func decodeLibsvmBody(r *http.Request) ([]sparse.Row, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	var rows []sparse.Row
+	for lineNo, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Tolerate a leading label so saved libsvm test files POST as-is.
+		fields := strings.Fields(line)
+		if len(fields) > 0 && !strings.Contains(fields[0], ":") {
+			line = strings.Join(fields[1:], " ")
+		}
+		row, err := dataset.ParseRow(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

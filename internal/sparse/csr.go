@@ -158,6 +158,19 @@ func (m *Matrix) SubMatrix(lo, hi int) (*Matrix, error) {
 	return sub, nil
 }
 
+// RowRangeView returns a zero-copy view of rows [lo, hi) of m. The view
+// shares storage with m: RowView works because row offsets stay absolute,
+// but the view's RowPtr does not start at zero, so NNZ/Density/ByteSize
+// report the parent's totals and Validate rejects it. It exists so batch
+// prediction can run over a sub-range of samples without copying CSR
+// payloads (serving hot path, per-rank evaluation blocks).
+func (m *Matrix) RowRangeView(lo, hi int) (*Matrix, error) {
+	if lo < 0 || hi < lo || hi > m.Rows() {
+		return nil, fmt.Errorf("sparse: RowRangeView bounds [%d,%d) out of range for %d rows", lo, hi, m.Rows())
+	}
+	return &Matrix{RowPtr: m.RowPtr[lo : hi+1], ColIdx: m.ColIdx, Val: m.Val, Cols: m.Cols}, nil
+}
+
 // SelectRows returns a new matrix holding the given rows of m, in order.
 // Used to extract support vectors when building the final model.
 func (m *Matrix) SelectRows(rows []int) (*Matrix, error) {

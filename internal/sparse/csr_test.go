@@ -338,3 +338,44 @@ func BenchmarkDotRows(b *testing.B) {
 		_ = DotRows(r0, r1)
 	}
 }
+
+func TestRowRangeView(t *testing.T) {
+	m := FromDense([][]float64{{1, 0, 2}, {0, 3, 0}, {4, 5, 6}, {0, 0, 7}})
+	v, err := m.RowRangeView(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows() != 2 || v.Cols != m.Cols {
+		t.Fatalf("view shape %dx%d", v.Rows(), v.Cols)
+	}
+	for k := 0; k < v.Rows(); k++ {
+		got, want := v.RowView(k), m.RowView(1+k)
+		if len(got.Idx) != len(want.Idx) {
+			t.Fatalf("view row %d nnz %d != %d", k, len(got.Idx), len(want.Idx))
+		}
+		for j := range got.Idx {
+			if got.Idx[j] != want.Idx[j] || got.Val[j] != want.Val[j] {
+				t.Fatalf("view row %d entry %d differs", k, j)
+			}
+		}
+		if v.SquaredNorm(k) != m.SquaredNorm(1+k) {
+			t.Fatalf("view row %d norm differs", k)
+		}
+	}
+	// Views share storage: no copying happened.
+	if &v.Val[0] != &m.Val[0] {
+		t.Fatal("view copied values")
+	}
+	// Empty and full ranges are fine; out-of-range is rejected.
+	if full, err := m.RowRangeView(0, m.Rows()); err != nil || full.Rows() != m.Rows() {
+		t.Fatalf("full view: %v", err)
+	}
+	if empty, err := m.RowRangeView(2, 2); err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty view: %v", err)
+	}
+	for _, bad := range [][2]int{{-1, 2}, {3, 2}, {0, 5}} {
+		if _, err := m.RowRangeView(bad[0], bad[1]); err == nil {
+			t.Fatalf("bounds %v accepted", bad)
+		}
+	}
+}
