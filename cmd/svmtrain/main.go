@@ -10,24 +10,32 @@
 //	svmtrain -dataset mnist38 -dataset-scale 0.05 -model out.model -p 4
 //
 // The -solver flag selects the engine: "core" (the paper's algorithm,
-// default) or "smo" (the libsvm-enhanced baseline).
+// default), "smo" (the libsvm-enhanced baseline), or "dc"
+// (divide-and-conquer: cluster, solve sub-problems in parallel, coalesce
+// support vectors, polish):
+//
+//	svmtrain -dataset blobs -dataset-scale 1 -solver dc -dc-clusters 8 -seed 42
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cv"
 	"repro/internal/dataset"
+	"repro/internal/dcsvm"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/probability"
 	"repro/internal/smo"
 	"repro/internal/sparse"
 )
+
+var solverNames = []string{"core", "smo", "dc"}
 
 func main() {
 	if err := run(); err != nil {
@@ -43,9 +51,9 @@ func run() error {
 		dsScale   = flag.Float64("dataset-scale", 0.01, "scale for -dataset generation")
 		modelPath = flag.String("model", "svm.model", "output model file")
 		tracePath = flag.String("trace", "", "optional output JSON trace (core solver only)")
-		solverSel = flag.String("solver", "core", `"core" (distributed, the paper) or "smo" (libsvm-enhanced baseline)`)
+		solverSel = flag.String("solver", "core", `"core" (distributed, the paper), "smo" (libsvm-enhanced baseline), or "dc" (divide-and-conquer)`)
 		p         = flag.Int("p", 4, "number of ranks (core solver)")
-		heuristic = flag.String("heuristic", "Multi5pc", "Table II heuristic name (core solver)")
+		heuristic = flag.String("heuristic", "Multi5pc", "Table II heuristic name (core and dc solvers)")
 		c         = flag.Float64("c", 10, "box constraint C")
 		sigma2    = flag.Float64("sigma2", 4, "Gaussian kernel width sigma^2 (gamma = 1/(2*sigma^2))")
 		kern      = flag.String("kernel", "rbf", "kernel: rbf, linear, polynomial, sigmoid")
@@ -55,9 +63,29 @@ func run() error {
 		eps       = flag.Float64("eps", 1e-3, "tolerance epsilon")
 		workers   = flag.Int("workers", 0, "worker goroutines (smo solver; 0 = all cores)")
 		calibrate = flag.Bool("probability", false, "fit Platt probability outputs via 3-fold CV (core solver)")
+		seed      = flag.Int64("seed", 7, "seed for CV fold shuffling and dc clustering")
 		quiet     = flag.Bool("q", false, "suppress the summary")
+
+		dcClusters    = flag.Int("dc-clusters", 8, "k-means clusters at the finest dc level")
+		dcLevels      = flag.Int("dc-levels", 1, "dc hierarchy depth (level l uses dc-clusters/2^l clusters)")
+		dcPolish      = flag.Bool("dc-polish", true, "run the warm-started polish to convergence (false = early stop, polish capped at 100 iterations)")
+		dcKernelSpace = flag.Bool("dc-kernel-space", false, "cluster in kernel feature space instead of input space")
+		dcSubSolver   = flag.String("dc-subsolver", "core", `dc sub-problem engine: "core" or "smo"`)
 	)
 	flag.Parse()
+
+	// Validate enum-valued flags before touching any data so typos fail in
+	// milliseconds, not after a multi-minute load.
+	if !validSolver(*solverSel) {
+		return fmt.Errorf("unknown -solver %q (valid: %s)", *solverSel, strings.Join(solverNames, ", "))
+	}
+	var h core.Heuristic
+	if *solverSel == "core" || *solverSel == "dc" {
+		var err error
+		if h, err = core.HeuristicByName(*heuristic); err != nil {
+			return err
+		}
+	}
 
 	x, y, cHyper, sigma2Hyper, err := loadData(*dataPath, *dsName, *dsScale)
 	if err != nil {
@@ -88,10 +116,6 @@ func run() error {
 	var summary string
 	switch *solverSel {
 	case "core":
-		h, err := core.HeuristicByName(*heuristic)
-		if err != nil {
-			return err
-		}
 		cfg := core.Config{
 			Kernel: kp, C: *c, Eps: *eps, Heuristic: h,
 			RecordTrace: *tracePath != "", DatasetName: *dsName,
@@ -110,7 +134,7 @@ func run() error {
 			}
 		}
 		if *calibrate {
-			splits, err := cv.StratifiedKFold(y, 3, 7)
+			splits, err := cv.StratifiedKFold(y, 3, *seed)
 			if err != nil {
 				return fmt.Errorf("probability calibration: %w", err)
 			}
@@ -138,8 +162,30 @@ func run() error {
 			res.Converged, res.Iterations,
 			100*float64(res.CacheHits)/float64(max(1, res.CacheHits+res.CacheMisses)),
 			m.NumSV())
-	default:
-		return fmt.Errorf("unknown -solver %q (want core or smo)", *solverSel)
+	case "dc":
+		cfg := dcsvm.Config{
+			Kernel: kp, C: *c, Eps: *eps, Heuristic: h,
+			Clusters: *dcClusters, Levels: *dcLevels, Seed: *seed,
+			KernelSpace: *dcKernelSpace,
+			SubSolver:   *dcSubSolver, P: *p, Workers: *workers,
+		}
+		if !*dcPolish {
+			cfg.PolishMaxIter = 100
+		}
+		var st *dcsvm.Stats
+		m, st, err = dcsvm.Train(x, y, cfg)
+		if err != nil {
+			return err
+		}
+		var subIters int64
+		for _, l := range st.Levels {
+			for _, it := range l.SubIterations {
+				subIters += it
+			}
+		}
+		summary = fmt.Sprintf("levels=%d coalesced-SVs=%d sub-iterations=%d polish-iterations=%d polish-converged=%v SVs=%d (%.1f%% of samples)",
+			len(st.Levels), st.CoalescedSVs, subIters, st.PolishIterations,
+			st.PolishConverged, st.SVCount, 100*float64(st.SVCount)/float64(x.Rows()))
 	}
 
 	if err := m.Save(*modelPath); err != nil {
@@ -172,6 +218,15 @@ func loadData(dataPath, dsName string, dsScale float64) (*sparse.Matrix, []float
 	default:
 		return nil, nil, 0, 0, fmt.Errorf("one of -data or -dataset is required")
 	}
+}
+
+func validSolver(name string) bool {
+	for _, s := range solverNames {
+		if name == s {
+			return true
+		}
+	}
+	return false
 }
 
 func flagWasSet(name string) bool {

@@ -43,6 +43,12 @@ func run() error {
 	)
 	flag.Parse()
 
+	// Resolve the heuristic before loading data so a typo fails fast.
+	h, err := core.HeuristicByName(*heuristic)
+	if err != nil {
+		return err
+	}
+
 	var x *sparse.Matrix
 	var y []float64
 	switch {
@@ -74,11 +80,6 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("sigma2-grid: %w", err)
 	}
-	h, err := core.HeuristicByName(*heuristic)
-	if err != nil {
-		return err
-	}
-
 	splits, err := cv.StratifiedKFold(y, *folds, *seed)
 	if err != nil {
 		return err

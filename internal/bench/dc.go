@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dcsvm"
+	"repro/internal/kernel"
+	"repro/internal/smo"
+)
+
+// RunDCSVM measures divide-and-conquer training against both exact
+// engines on the same data: the paper's distributed solver and the
+// libsvm-enhanced baseline solve the full problem, then dcsvm runs at
+// increasing cluster counts plus the early-stop mode. Wall-clock here is
+// measured, not modeled — the dc speedup comes from shrinking each
+// sub-problem's working set, which materializes on a single machine.
+func RunDCSVM(o Options) (*Report, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	ds, scale, err := loadDataset(o, "mnist38")
+	if err != nil {
+		return nil, err
+	}
+	kp := kernel.FromSigma2(ds.Sigma2)
+	rep := &Report{
+		ID:     "dcsvm",
+		Title:  fmt.Sprintf("Divide-and-conquer vs exact full solves on %s (measured wall-clock)", ds.Name),
+		Header: []string{"solver", "time", "sub-iters", "polish-iters", "SVs", "test-acc"},
+	}
+	addRow := func(name string, took time.Duration, subIters, polishIters int64, svs int, acc float64) {
+		rep.Rows = append(rep.Rows, []string{
+			name, took.Round(time.Millisecond).String(),
+			i64toa(subIters), i64toa(polishIters), itoa(svs), f2(acc) + "%",
+		})
+	}
+
+	// Exact reference 1: the paper's distributed solver.
+	t0 := time.Now()
+	cm, cst, err := core.TrainParallel(ds.X, ds.Y, 1, core.Config{
+		Kernel: kp, C: ds.C, Eps: o.Eps, Heuristic: core.Multi5pc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	coreTime := time.Since(t0)
+	met, err := cm.Evaluate(ds.TestX, ds.TestY)
+	if err != nil {
+		return nil, err
+	}
+	addRow("core (full)", coreTime, cst.Iterations, 0, cst.SVCount, met.Accuracy)
+
+	// Exact reference 2: the libsvm-enhanced baseline.
+	t0 = time.Now()
+	sres, err := smo.Train(ds.X, ds.Y, smo.Config{
+		Kernel: kp, C: ds.C, Eps: o.Eps,
+		Workers: o.BaselineWorkers, Shrinking: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	smoTime := time.Since(t0)
+	met, err = sres.Model.Evaluate(ds.TestX, ds.TestY)
+	if err != nil {
+		return nil, err
+	}
+	addRow("smo (full)", smoTime, sres.Iterations, 0, sres.Model.NumSV(), met.Accuracy)
+
+	dcRun := func(name string, clusters int, polishCap int64) error {
+		t0 := time.Now()
+		m, st, err := dcsvm.Train(ds.X, ds.Y, dcsvm.Config{
+			Kernel: kp, C: ds.C, Eps: o.Eps, Heuristic: core.Multi5pc,
+			Clusters: clusters, Seed: 11, PolishMaxIter: polishCap,
+		})
+		if err != nil {
+			return err
+		}
+		took := time.Since(t0)
+		var subIters int64
+		for _, l := range st.Levels {
+			for _, it := range l.SubIterations {
+				subIters += it
+			}
+		}
+		met, err := m.Evaluate(ds.TestX, ds.TestY)
+		if err != nil {
+			return err
+		}
+		addRow(name, took, subIters, st.PolishIterations, st.SVCount, met.Accuracy)
+		o.logf("%s: %.1fx vs core, %.1fx vs smo", name,
+			coreTime.Seconds()/took.Seconds(), smoTime.Seconds()/took.Seconds())
+		return nil
+	}
+	for _, k := range []int{4, 8, 16} {
+		if err := dcRun(fmt.Sprintf("dc k=%d", k), k, 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := dcRun("dc k=8 early-stop", 8, 50); err != nil {
+		return nil, err
+	}
+
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("dataset at scale %.4f of %d published samples; dc polish restores near-exactness, early-stop caps it at 50 iterations", scale, dataset.Specs["mnist38"].FullTrain),
+		"dc sub-solves use the distributed solver per cluster; the polish is the warm-started baseline over the coalesced support-vector union")
+	rep.Took = time.Since(start)
+	return rep, nil
+}

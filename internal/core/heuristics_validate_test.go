@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeuristicValidateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		h       Heuristic
+		wantErr string // substring; empty means valid
+	}{
+		{"no-shrinking default", Original, ""},
+		{"no-shrinking with iters",
+			Heuristic{Name: "BadIters", Recon: ReconNone, InitialIters: 5},
+			"no-shrinking mode with a threshold"},
+		{"no-shrinking with frac",
+			Heuristic{Name: "BadFrac", Recon: ReconNone, InitialFrac: 0.1},
+			"no-shrinking mode with a threshold"},
+		{"neither threshold set",
+			Heuristic{Name: "Neither", Recon: ReconSingle},
+			"exactly one of"},
+		{"both thresholds set",
+			Heuristic{Name: "Both", Recon: ReconMulti, InitialIters: 10, InitialFrac: 0.2},
+			"exactly one of"},
+		{"frac above one",
+			Heuristic{Name: "TooBig", Recon: ReconSingle, InitialFrac: 1.5},
+			"out of [0,1]"},
+		{"frac exactly one", Heuristic{Name: "Full", Recon: ReconSingle, InitialFrac: 1}, ""},
+		{"iters only", Heuristic{Name: "Iters", Recon: ReconMulti, InitialIters: 1}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.h.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate() accepted %+v", tc.h)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Every published Table II heuristic must of course validate.
+func TestTable2AllValid(t *testing.T) {
+	for _, h := range Table2() {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: %v", h.Name, err)
+		}
+	}
+}

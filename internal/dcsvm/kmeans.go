@@ -1,0 +1,404 @@
+package dcsvm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/kernel"
+	"repro/internal/sparse"
+)
+
+// Clustering is a partition of the rows of a matrix into K clusters.
+// Assign[i] is the cluster of row i; every cluster is non-empty.
+type Clustering struct {
+	K      int
+	Assign []int
+	Sizes  []int
+	Iters  int // Lloyd refinement iterations performed
+}
+
+// maxLloydIters bounds the refinement loop; k-means on SVM training data
+// stabilizes long before this, and a hard cap keeps clustering a small,
+// predictable fraction of total training time.
+const maxLloydIters = 25
+
+// kernelSample caps the subsample size used by kernel-space clustering.
+// Kernel k-means needs the pairwise kernel matrix of its working set, so
+// the subsample keeps that quadratic cost bounded; the remaining rows are
+// assigned to the nearest feature-space centroid afterwards, the standard
+// two-step approximation for large-scale kernel k-means.
+const kernelSample = 512
+
+// clusterRows partitions the rows of x into at most k clusters,
+// deterministically under a fixed seed. With kernelSpace set, distances
+// are measured in the kernel feature space induced by kp (where the
+// sub-problems are actually solved); otherwise plain Euclidean k-means++
+// with Lloyd refinement is used.
+func clusterRows(x *sparse.Matrix, k int, seed int64, kernelSpace bool, kp kernel.Params) (*Clustering, error) {
+	n := x.Rows()
+	if n == 0 {
+		return nil, fmt.Errorf("dcsvm: cannot cluster an empty matrix")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("dcsvm: cluster count must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	if k == 1 {
+		return &Clustering{K: 1, Assign: make([]int, n), Sizes: []int{n}}, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if kernelSpace {
+		return kernelKMeans(x, k, rng, kp)
+	}
+	return euclideanKMeans(x, k, rng), nil
+}
+
+// euclideanKMeans is k-means++ seeding followed by Lloyd refinement with
+// dense centroids. Distances use the norm decomposition
+// ||x - c||^2 = ||x||^2 + ||c||^2 - 2<x, c>, so each row-to-centroid
+// distance costs one sparse-dense dot product.
+func euclideanKMeans(x *sparse.Matrix, k int, rng *rand.Rand) *Clustering {
+	n, d := x.Rows(), x.Cols
+	norms := x.SquaredNorms()
+
+	// k-means++ seeding over rows: each new seed is drawn with probability
+	// proportional to the squared distance to the nearest seed so far.
+	seeds := make([]int, 1, k)
+	seeds[0] = rng.Intn(n)
+	dist2 := make([]float64, n)
+	for i := range dist2 {
+		dist2[i] = math.Inf(1)
+	}
+	for len(seeds) < k {
+		latest := seeds[len(seeds)-1]
+		lv := x.RowView(latest)
+		var total float64
+		for i := 0; i < n; i++ {
+			d2 := norms[i] + norms[latest] - 2*sparse.DotRows(x.RowView(i), lv)
+			if d2 < 0 {
+				d2 = 0
+			}
+			if d2 < dist2[i] {
+				dist2[i] = d2
+			}
+			total += dist2[i]
+		}
+		next := 0
+		if total > 0 {
+			u := rng.Float64() * total
+			var run float64
+			for i := 0; i < n; i++ {
+				run += dist2[i]
+				if run >= u {
+					next = i
+					break
+				}
+			}
+		} else {
+			next = rng.Intn(n) // all rows identical; any seed works
+		}
+		seeds = append(seeds, next)
+	}
+
+	cent := make([][]float64, k)
+	for c := range cent {
+		cent[c] = make([]float64, d)
+		sparse.AddScaledTo(x.RowView(seeds[c]), cent[c], 1)
+	}
+	cnorm := make([]float64, k)
+	assign := make([]int, n)
+	sizes := make([]int, k)
+	cl := &Clustering{K: k, Assign: assign, Sizes: sizes}
+
+	for iter := 0; iter < maxLloydIters; iter++ {
+		for c := range cent {
+			var s float64
+			for _, v := range cent[c] {
+				s += v * v
+			}
+			cnorm[c] = s
+		}
+		changed := false
+		for c := range sizes {
+			sizes[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			row := x.RowView(i)
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				d2 := norms[i] + cnorm[c] - 2*sparse.DotDense(row, cent[c])
+				if d2 < bestD {
+					best, bestD = c, d2
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+			sizes[best]++
+		}
+		cl.Iters = iter + 1
+		// An emptied cluster steals the row farthest from its assigned
+		// centroid (the centroids, and hence the distances, are still
+		// those of this iteration) so every cluster stays non-empty.
+		for c := 0; c < k; c++ {
+			if sizes[c] > 0 {
+				continue
+			}
+			far := farthestRow(x, norms, cent, cnorm, assign, sizes)
+			sizes[assign[far]]--
+			assign[far] = c
+			sizes[c] = 1
+			changed = true
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids as cluster means.
+		for c := range cent {
+			for j := range cent[c] {
+				cent[c][j] = 0
+			}
+		}
+		for i := 0; i < n; i++ {
+			sparse.AddScaledTo(x.RowView(i), cent[assign[i]], 1)
+		}
+		for c := range cent {
+			inv := 1 / float64(sizes[c])
+			for j := range cent[c] {
+				cent[c][j] *= inv
+			}
+		}
+	}
+	return cl
+}
+
+// farthestRow returns the row with the largest distance to its assigned
+// centroid, used to reseed emptied clusters. Rows that are their cluster's
+// only member are skipped so stealing one cannot empty another cluster.
+func farthestRow(x *sparse.Matrix, norms []float64, cent [][]float64, cnorm []float64, assign, sizes []int) int {
+	best, bestD := 0, math.Inf(-1)
+	for i := 0; i < x.Rows(); i++ {
+		c := assign[i]
+		if sizes[c] <= 1 {
+			continue
+		}
+		d2 := norms[i] + cnorm[c] - 2*sparse.DotDense(x.RowView(i), cent[c])
+		if d2 > bestD {
+			best, bestD = i, d2
+		}
+	}
+	return best
+}
+
+// kernelKMeans clusters in the feature space induced by kp: kernel k-means
+// over a bounded subsample (where the pairwise kernel matrix fits), then
+// every row is assigned to the nearest feature-space centroid
+//
+//	||phi(x) - mu_c||^2 = K(x,x) - 2/|S_c| sum_{j in S_c} K(x, x_j)
+//	                     + 1/|S_c|^2 sum_{j,l in S_c} K(x_j, x_l),
+//
+// with the per-cluster self term precomputed once.
+func kernelKMeans(x *sparse.Matrix, k int, rng *rand.Rand, kp kernel.Params) (*Clustering, error) {
+	n := x.Rows()
+	m := n
+	if m > kernelSample {
+		m = kernelSample
+	}
+	sampleIdx := rng.Perm(n)[:m]
+	sx, err := x.SelectRows(sampleIdx)
+	if err != nil {
+		return nil, err
+	}
+	ev := kernel.NewEvaluator(kp, sx)
+	kmat := make([][]float64, m)
+	for i := range kmat {
+		kmat[i] = make([]float64, m)
+		for j := 0; j <= i; j++ {
+			v := ev.At(i, j)
+			kmat[i][j] = v
+			kmat[j][i] = v
+		}
+	}
+
+	// Seed the sample assignment from k distinct sample points via
+	// D^2-style sampling in kernel distance d(i,j) = K_ii + K_jj - 2K_ij.
+	assign := make([]int, m)
+	seeds := make([]int, 1, k)
+	seeds[0] = rng.Intn(m)
+	dist2 := make([]float64, m)
+	for i := range dist2 {
+		dist2[i] = math.Inf(1)
+	}
+	for len(seeds) < k {
+		latest := seeds[len(seeds)-1]
+		var total float64
+		for i := 0; i < m; i++ {
+			d2 := kmat[i][i] + kmat[latest][latest] - 2*kmat[i][latest]
+			if d2 < 0 {
+				d2 = 0
+			}
+			if d2 < dist2[i] {
+				dist2[i] = d2
+			}
+			total += dist2[i]
+		}
+		next := 0
+		if total > 0 {
+			u := rng.Float64() * total
+			var run float64
+			for i := 0; i < m; i++ {
+				run += dist2[i]
+				if run >= u {
+					next = i
+					break
+				}
+			}
+		} else {
+			next = rng.Intn(m)
+		}
+		seeds = append(seeds, next)
+	}
+	for i := 0; i < m; i++ {
+		best, bestD := 0, math.Inf(1)
+		for c, s := range seeds {
+			d2 := kmat[i][i] + kmat[s][s] - 2*kmat[i][s]
+			if d2 < bestD {
+				best, bestD = c, d2
+			}
+		}
+		assign[i] = best
+	}
+
+	members := func() [][]int {
+		out := make([][]int, k)
+		for i, c := range assign {
+			out[c] = append(out[c], i)
+		}
+		return out
+	}
+	iters := 0
+	for iter := 0; iter < maxLloydIters; iter++ {
+		mem := members()
+		// Reseed empty clusters with the sample point farthest from its
+		// centroid (largest current distance).
+		self := clusterSelfTerms(kmat, mem)
+		for c := range mem {
+			if len(mem[c]) == 0 {
+				far, farD := 0, math.Inf(-1)
+				for i := 0; i < m; i++ {
+					d := pointToCluster(kmat, i, mem[assign[i]], self[assign[i]])
+					if d > farD {
+						far, farD = i, d
+					}
+				}
+				assign[far] = c
+				mem = members()
+				self = clusterSelfTerms(kmat, mem)
+			}
+		}
+		changed := false
+		for i := 0; i < m; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if len(mem[c]) == 0 {
+					continue
+				}
+				d := pointToCluster(kmat, i, mem[c], self[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		iters = iter + 1
+		if !changed {
+			break
+		}
+	}
+
+	// Assign all n rows to the nearest feature-space centroid of the
+	// converged sample clustering.
+	mem := members()
+	self := clusterSelfTerms(kmat, mem)
+	norms := x.SquaredNorms()
+	full := make([]int, n)
+	sizes := make([]int, k)
+	cross := make([]float64, m)
+	for i := 0; i < n; i++ {
+		row := x.RowView(i)
+		selfK := kp.Eval(row, row, norms[i], norms[i])
+		for j := 0; j < m; j++ {
+			cross[j] = ev.Cross(j, row, norms[i])
+		}
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < k; c++ {
+			if len(mem[c]) == 0 {
+				continue
+			}
+			var s float64
+			for _, j := range mem[c] {
+				s += cross[j]
+			}
+			d := selfK - 2*s/float64(len(mem[c])) + self[c]
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		full[i] = best
+		sizes[best]++
+	}
+	// A cluster can end up empty after full assignment (its sample points
+	// attracted nothing); compact the labels so every cluster is non-empty.
+	remap := make([]int, k)
+	kk := 0
+	for c := 0; c < k; c++ {
+		if sizes[c] > 0 {
+			remap[c] = kk
+			kk++
+		}
+	}
+	compact := make([]int, kk)
+	for i := range full {
+		full[i] = remap[full[i]]
+	}
+	for _, c := range full {
+		compact[c]++
+	}
+	return &Clustering{K: kk, Assign: full, Sizes: compact, Iters: iters}, nil
+}
+
+// clusterSelfTerms precomputes 1/|S_c|^2 * sum_{j,l in S_c} K(j,l) for
+// each cluster of the sample.
+func clusterSelfTerms(kmat [][]float64, mem [][]int) []float64 {
+	out := make([]float64, len(mem))
+	for c, ms := range mem {
+		if len(ms) == 0 {
+			continue
+		}
+		var s float64
+		for _, j := range ms {
+			for _, l := range ms {
+				s += kmat[j][l]
+			}
+		}
+		out[c] = s / float64(len(ms)*len(ms))
+	}
+	return out
+}
+
+// pointToCluster is the feature-space distance of sample point i to the
+// centroid of the given member set (self is its precomputed self term).
+func pointToCluster(kmat [][]float64, i int, ms []int, self float64) float64 {
+	var s float64
+	for _, j := range ms {
+		s += kmat[i][j]
+	}
+	return kmat[i][i] - 2*s/float64(len(ms)) + self
+}

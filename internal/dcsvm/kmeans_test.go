@@ -1,0 +1,139 @@
+package dcsvm
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/sparse"
+)
+
+func testKernel(ds *dataset.Dataset) kernel.Params {
+	return kernel.Params{Type: kernel.Gaussian, Gamma: 1 / (2 * ds.Sigma2)}
+}
+
+func checkPartition(t *testing.T, cl *Clustering, n int) {
+	t.Helper()
+	if len(cl.Assign) != n {
+		t.Fatalf("Assign has %d entries, want %d", len(cl.Assign), n)
+	}
+	sizes := make([]int, cl.K)
+	for i, c := range cl.Assign {
+		if c < 0 || c >= cl.K {
+			t.Fatalf("Assign[%d] = %d outside [0, %d)", i, c, cl.K)
+		}
+		sizes[c]++
+	}
+	for c, s := range sizes {
+		if s == 0 {
+			t.Fatalf("cluster %d is empty", c)
+		}
+		if s != cl.Sizes[c] {
+			t.Fatalf("Sizes[%d] = %d, recount %d", c, cl.Sizes[c], s)
+		}
+	}
+}
+
+func TestClusteringDeterministic(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.25)
+	for _, kernelSpace := range []bool{false, true} {
+		a, err := clusterRows(ds.X, 4, 42, kernelSpace, testKernel(ds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := clusterRows(ds.X, 4, 42, kernelSpace, testKernel(ds))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkPartition(t, a, ds.X.Rows())
+		if a.K != b.K {
+			t.Fatalf("kernelSpace=%v: K %d vs %d across identical seeds", kernelSpace, a.K, b.K)
+		}
+		for i := range a.Assign {
+			if a.Assign[i] != b.Assign[i] {
+				t.Fatalf("kernelSpace=%v: Assign[%d] differs across identical seeds", kernelSpace, i)
+			}
+		}
+	}
+}
+
+func TestClusteringSeedChangesPartition(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.25)
+	a, err := clusterRows(ds.X, 6, 1, false, kernel.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := clusterRows(ds.X, 6, 2, false, kernel.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical partitions")
+	}
+}
+
+func TestClusteringClampsK(t *testing.T) {
+	x := sparse.FromDense([][]float64{{0}, {1}, {2}})
+	cl, err := clusterRows(x, 10, 0, false, kernel.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.K > 3 {
+		t.Fatalf("K = %d for 3 rows", cl.K)
+	}
+	checkPartition(t, cl, 3)
+
+	one, err := clusterRows(x, 1, 0, false, kernel.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.K != 1 || one.Sizes[0] != 3 {
+		t.Fatalf("k=1 clustering = %+v", one)
+	}
+}
+
+func TestClusteringErrors(t *testing.T) {
+	x := sparse.FromDense([][]float64{{0}, {1}})
+	if _, err := clusterRows(x, 0, 0, false, kernel.Params{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	empty := sparse.FromDense(nil)
+	if _, err := clusterRows(empty, 2, 0, false, kernel.Params{}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}
+
+// TestEuclideanSeparatesBlobs: on well-separated 2-D blobs, k=2 k-means
+// should recover a partition where each cluster is dominated by one blob.
+func TestEuclideanSeparatesBlobs(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.25)
+	cl, err := clusterRows(ds.X, 2, 7, false, kernel.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartition(t, cl, ds.X.Rows())
+	// Count label majority per cluster; blobs are label-aligned, so a good
+	// geometric split should be strongly correlated with labels.
+	agree := 0
+	for _, c0y := range []float64{1, -1} {
+		n := 0
+		for i, c := range cl.Assign {
+			if (c == 0) == (ds.Y[i] == c0y) {
+				n++
+			}
+		}
+		if n > agree {
+			agree = n
+		}
+	}
+	if frac := float64(agree) / float64(len(ds.Y)); frac < 0.9 {
+		t.Fatalf("cluster/label agreement %.2f, want >= 0.9", frac)
+	}
+}

@@ -118,6 +118,27 @@ func (m *Model) WarmNorms() {
 	}
 }
 
+// SVTrainingSet reinterprets the support-vector set as a standalone
+// training problem: the SV rows, the labels y_i = sign(coef_i) and the
+// dual variables alpha_i = |coef_i| (coef_i = alpha_i*y_i with alpha_i > 0,
+// so both are recovered exactly). Divide-and-conquer training coalesces
+// per-cluster sub-solutions this way: the union of the returned sets forms
+// the next level's warm-started problem, and the union satisfies the dual
+// equality constraint sum_i alpha_i*y_i = 0 because each sub-solution does.
+func (m *Model) SVTrainingSet() (x *sparse.Matrix, y, alpha []float64) {
+	n := m.NumSV()
+	y = make([]float64, n)
+	alpha = make([]float64, n)
+	for i, c := range m.Coef {
+		if c >= 0 {
+			y[i], alpha[i] = 1, c
+		} else {
+			y[i], alpha[i] = -1, -c
+		}
+	}
+	return m.SV, y, alpha
+}
+
 // Probability returns the calibrated P(y=+1 | x) and true, or (0, false)
 // when the model carries no Platt parameters.
 func (m *Model) Probability(x sparse.Row) (float64, bool) {

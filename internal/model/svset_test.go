@@ -1,0 +1,41 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/sparse"
+)
+
+func TestSVTrainingSet(t *testing.T) {
+	m := &Model{
+		Kernel: kernel.Params{Type: kernel.Gaussian, Gamma: 1},
+		C:      10,
+		SV:     sparse.FromDense([][]float64{{-1, 0}, {1, 0.5}, {0, 2}}),
+		Coef:   []float64{-2.5, 1.5, 1},
+		Beta:   0.25,
+	}
+	x, y, alpha := m.SVTrainingSet()
+	if x != m.SV {
+		t.Fatal("SVTrainingSet must return the SV matrix itself")
+	}
+	wantY := []float64{-1, 1, 1}
+	wantA := []float64{2.5, 1.5, 1}
+	for i := range wantY {
+		if y[i] != wantY[i] {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], wantY[i])
+		}
+		if alpha[i] != wantA[i] {
+			t.Fatalf("alpha[%d] = %v, want %v", i, alpha[i], wantA[i])
+		}
+	}
+	// The reconstructed set satisfies the dual equality constraint iff the
+	// coefficients sum to zero — here they do by construction.
+	var eq float64
+	for i := range y {
+		eq += alpha[i] * y[i]
+	}
+	if eq != 0 {
+		t.Fatalf("sum alpha*y = %v, want 0", eq)
+	}
+}

@@ -41,9 +41,23 @@ func distinctClasses(y []float64) []float64 {
 	return out
 }
 
+// Trainer fits one binary machine on labels in {+1, -1}. It decouples the
+// ensemble composition from the engine, so the one-vs-rest reduction works
+// with any solver in the repository (core, smo, dcsvm) or a custom one.
+type Trainer func(x *sparse.Matrix, y []float64) (*model.Model, error)
+
 // Train fits one binary one-vs-rest subproblem per class using the
 // distributed solver with the given configuration and process count.
 func Train(x *sparse.Matrix, y []float64, p int, cfg core.Config) (*Model, error) {
+	return TrainWith(x, y, func(bx *sparse.Matrix, by []float64) (*model.Model, error) {
+		m, _, err := core.TrainParallel(bx, by, p, cfg)
+		return m, err
+	})
+}
+
+// TrainWith fits one binary one-vs-rest subproblem per class with the
+// given trainer.
+func TrainWith(x *sparse.Matrix, y []float64, trainer Trainer) (*Model, error) {
 	if x.Rows() != len(y) {
 		return nil, fmt.Errorf("multiclass: %d rows but %d labels", x.Rows(), len(y))
 	}
@@ -53,7 +67,7 @@ func Train(x *sparse.Matrix, y []float64, p int, cfg core.Config) (*Model, error
 	}
 	if len(classes) == 2 && classes[0] == -1 && classes[1] == 1 {
 		// Plain binary problem: one machine suffices.
-		m, _, err := core.TrainParallel(x, y, p, cfg)
+		m, err := trainer(x, y)
 		if err != nil {
 			return nil, err
 		}
@@ -69,7 +83,7 @@ func Train(x *sparse.Matrix, y []float64, p int, cfg core.Config) (*Model, error
 				binLabels[i] = -1
 			}
 		}
-		m, _, err := core.TrainParallel(x, binLabels, p, cfg)
+		m, err := trainer(x, binLabels)
 		if err != nil {
 			return nil, fmt.Errorf("multiclass: class %v: %w", cls, err)
 		}

@@ -1,0 +1,90 @@
+package smo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestWarmStartAtOptimum: restarting from a converged solution must
+// terminate immediately (zero or near-zero iterations) and reproduce the
+// same model.
+func TestWarmStartAtOptimum(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.25)
+	cfg := defaultCfg()
+	cold, err := Train(ds.X, ds.Y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cold.Converged {
+		t.Fatal("cold solve did not converge")
+	}
+	// The SV subproblem warm-started at the parent optimum is already
+	// solved: SMO should do (close to) no work and land on the same
+	// hyperplane.
+	svX, svY, svA := cold.Model.SVTrainingSet()
+	warmCfg := cfg
+	warmCfg.InitialAlpha = svA
+	warm, err := Train(svX, svY, warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Converged {
+		t.Fatal("warm solve did not converge")
+	}
+	if warm.Iterations > cold.Iterations/4 {
+		t.Fatalf("warm start did %d iterations, cold did %d", warm.Iterations, cold.Iterations)
+	}
+	if math.Abs(warm.Model.Beta-cold.Model.Beta) > 5e-2 {
+		t.Fatalf("warm beta %v far from cold beta %v", warm.Model.Beta, cold.Model.Beta)
+	}
+}
+
+func TestWarmStartValidation(t *testing.T) {
+	x, y := tinyData()
+	cfg := defaultCfg()
+
+	bad := cfg
+	bad.InitialAlpha = []float64{1, 0}
+	if _, err := Train(x, y, bad); err == nil {
+		t.Error("length-mismatched warm start accepted")
+	}
+
+	bad = cfg
+	bad.InitialAlpha = []float64{-1, 0, 0, 0, 0, 0}
+	if _, err := Train(x, y, bad); err == nil {
+		t.Error("negative alpha accepted")
+	}
+
+	bad = cfg
+	bad.InitialAlpha = []float64{cfg.C * 2, 0, 0, 0, 0, 0}
+	if _, err := Train(x, y, bad); err == nil {
+		t.Error("alpha above C accepted")
+	}
+
+	// Violates sum alpha_i*y_i = 0: one-sided mass.
+	bad = cfg
+	bad.InitialAlpha = []float64{1, 0, 0, 0, 0, 0}
+	if _, err := Train(x, y, bad); err == nil {
+		t.Error("equality-constraint-violating warm start accepted")
+	}
+
+	// A feasible non-trivial warm start must be accepted and converge.
+	ok := cfg
+	ok.InitialAlpha = []float64{0.5, 0, 0, 0.5, 0, 0}
+	res, err := Train(x, y, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("feasible warm start did not converge")
+	}
+	mt, err := res.Model.Evaluate(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Accuracy != 100 {
+		t.Fatalf("training accuracy = %v%%, want 100%%", mt.Accuracy)
+	}
+}

@@ -92,6 +92,30 @@ func DotRows(a, b Row) float64 {
 	return s
 }
 
+// DotDense returns the inner product of a sparse row with a dense vector.
+// Indices at or beyond len(dense) contribute nothing, so a row from a
+// matrix with more columns than the vector is handled gracefully.
+func DotDense(r Row, dense []float64) float64 {
+	var s float64
+	for k, c := range r.Idx {
+		if int(c) < len(dense) {
+			s += r.Val[k] * dense[c]
+		}
+	}
+	return s
+}
+
+// AddScaledTo accumulates scale * r into the dense vector. Centroid
+// updates in k-means clustering are the primary user: the running mean of
+// a cluster's sparse rows lives in a dense accumulator.
+func AddScaledTo(r Row, dense []float64, scale float64) {
+	for k, c := range r.Idx {
+		if int(c) < len(dense) {
+			dense[c] += scale * r.Val[k]
+		}
+	}
+}
+
 // SquaredNorm returns the squared Euclidean norm of row i.
 func (m *Matrix) SquaredNorm(i int) float64 {
 	r := m.RowView(i)

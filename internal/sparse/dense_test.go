@@ -1,0 +1,50 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDotDense(t *testing.T) {
+	m := FromDense([][]float64{{1, 0, 2}, {0, 3, 0}})
+	dense := []float64{0.5, -1, 4}
+	if got := DotDense(m.RowView(0), dense); got != 0.5+8 {
+		t.Fatalf("DotDense row0 = %v, want 8.5", got)
+	}
+	if got := DotDense(m.RowView(1), dense); got != -3 {
+		t.Fatalf("DotDense row1 = %v, want -3", got)
+	}
+	// Shorter dense vector: out-of-range indices contribute nothing.
+	if got := DotDense(m.RowView(0), dense[:1]); got != 0.5 {
+		t.Fatalf("DotDense truncated = %v, want 0.5", got)
+	}
+	if got := DotDense(Row{}, dense); got != 0 {
+		t.Fatalf("DotDense empty = %v, want 0", got)
+	}
+}
+
+func TestAddScaledTo(t *testing.T) {
+	m := FromDense([][]float64{{1, 0, 2}})
+	dense := []float64{1, 1, 1}
+	AddScaledTo(m.RowView(0), dense, 2)
+	want := []float64{3, 1, 5}
+	for i := range want {
+		if math.Abs(dense[i]-want[i]) > 1e-15 {
+			t.Fatalf("dense = %v, want %v", dense, want)
+		}
+	}
+	// Accumulating -1x undoes a +1x pass.
+	AddScaledTo(m.RowView(0), dense, 1)
+	AddScaledTo(m.RowView(0), dense, -1)
+	for i := range want {
+		if math.Abs(dense[i]-want[i]) > 1e-15 {
+			t.Fatalf("after +1/-1 round trip dense = %v, want %v", dense, want)
+		}
+	}
+	// Shorter accumulator: out-of-range indices are ignored, in-range ones land.
+	short := []float64{0}
+	AddScaledTo(m.RowView(0), short, 3)
+	if short[0] != 3 {
+		t.Fatalf("short accumulator = %v, want [3]", short)
+	}
+}
