@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/oracle"
+)
+
+// RunOracle runs the cross-solver correctness oracle as a tracked
+// experiment: every engine (all Table II heuristics, smo cold and warm,
+// dcsvm with the full polish) trains the same seeded datasets and each
+// model's duality gap and worst KKT violation are recorded, so a solver
+// change that drifts any engine away from the shared optimum shows up as a
+// number moving in the bench trajectory, not just a test flipping red.
+func RunOracle(o Options) (*Report, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	rep := &Report{
+		ID:     "oracle",
+		Title:  "Cross-solver oracle: duality gap and KKT violations per engine",
+		Header: []string{"dataset", "engine", "dual-obj", "gap", "rel-gap", "max-KKT", "SVs", "status"},
+	}
+
+	// Small slices of three differently shaped datasets (dense 2-D, dense
+	// 8-D, sparse binary) keep the full engine sweep to seconds while still
+	// exercising every code path the oracle distinguishes.
+	cases := []struct {
+		name  string
+		scale float64
+	}{
+		{"blobs", 0.15},
+		{"codrna", 0.005},
+		{"mushrooms", 0.05},
+	}
+	fails := 0
+	var worstSpread float64
+	for _, tc := range cases {
+		spec, err := dataset.Lookup(tc.name)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := dataset.Generate(spec, tc.scale*o.Scale)
+		if err != nil {
+			return nil, err
+		}
+		o.logf("oracle: %s (%d samples): training all engines", tc.name, ds.Train())
+		d, err := oracle.RunDifferential(ds.X, ds.Y, oracle.DiffOptions{
+			Kernel: kernel.FromSigma2(ds.Sigma2),
+			C:      ds.C,
+			Eps:    o.Eps,
+			Seed:   7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range d.Results {
+			status := "ok"
+			if err := r.Report.Check(); err != nil {
+				status = "FAIL"
+				fails++
+			}
+			rep.Rows = append(rep.Rows, []string{
+				tc.name, r.Name,
+				fmt.Sprintf("%.4f", r.Report.DualObjective),
+				fmt.Sprintf("%.3e", r.Report.DualityGap),
+				fmt.Sprintf("%.3e", r.Report.RelativeGap),
+				fmt.Sprintf("%.3e", r.Report.MaxKKTViolation),
+				itoa(r.Report.NumSV),
+				status,
+			})
+		}
+		if d.MaxSpread > worstSpread {
+			worstSpread = d.MaxSpread
+		}
+		if err := d.Check(); err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s parity FAILURE: %v", tc.name, err))
+			fails++
+		} else {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %d engines agree; objective spread %.3e (tolerance %.3e)",
+				tc.name, len(d.Results), d.MaxSpread, d.SpreadTolerance))
+		}
+	}
+	if fails > 0 {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("%d oracle FAILURES — see rows/notes above", fails))
+	} else {
+		rep.Notes = append(rep.Notes, fmt.Sprintf("all engines pass; worst cross-engine objective spread %.3e", worstSpread))
+	}
+	rep.Took = time.Since(start)
+	return rep, nil
+}

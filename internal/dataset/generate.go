@@ -101,14 +101,26 @@ func (s Spec) ScaledCounts(scale float64) (train, test int) {
 // (1.0 reproduces the full published sample counts). Generation is
 // deterministic in (spec, scale).
 func Generate(s Spec, scale float64) (*Dataset, error) {
+	return GenerateSeeded(s, scale, 0)
+}
+
+// GenerateSeeded is Generate with a caller-supplied seed overriding the
+// spec's default: it is the hook `svmtrain -seed` (and any other
+// reproducibility-sensitive caller) uses to draw a fresh-but-deterministic
+// sample of the same distribution. Seed 0 means the spec's own seed, so
+// GenerateSeeded(s, scale, 0) == Generate(s, scale) byte for byte.
+func GenerateSeeded(s Spec, scale float64, seed int64) (*Dataset, error) {
 	if s.Dim <= 0 || s.FullTrain <= 0 {
 		return nil, fmt.Errorf("dataset: invalid spec %+v", s)
 	}
 	if scale <= 0 {
 		return nil, fmt.Errorf("dataset: scale must be positive, got %v", scale)
 	}
+	if seed == 0 {
+		seed = s.Seed
+	}
 	nTrain, nTest := s.ScaledCounts(scale)
-	rng := rand.New(rand.NewSource(s.Seed))
+	rng := rand.New(rand.NewSource(seed))
 
 	g := newGenerator(s, rng)
 	trainX, trainY := g.sample(nTrain, rng)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +30,9 @@ func ParseLine(line string) (float64, sparse.Row, error) {
 	label, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
 		return 0, sparse.Row{}, fmt.Errorf("label %q: %w", fields[0], err)
+	}
+	if math.IsNaN(label) || math.IsInf(label, 0) {
+		return 0, sparse.Row{}, fmt.Errorf("label %q is not finite", fields[0])
 	}
 	row, err := parseFeatures(fields[1:])
 	if err != nil {
@@ -61,6 +65,12 @@ func parseFeatures(fields []string) (sparse.Row, error) {
 		if err != nil || idx < 1 {
 			return sparse.Row{}, fmt.Errorf("feature index %q (want integer >= 1)", idxStr)
 		}
+		if idx > math.MaxInt32 {
+			// Indices are stored as int32 in the CSR matrix; without this
+			// guard a huge index would silently wrap negative in the cast
+			// below and corrupt the row.
+			return sparse.Row{}, fmt.Errorf("feature index %d exceeds the supported maximum %d", idx, math.MaxInt32)
+		}
 		if idx <= prev {
 			return sparse.Row{}, fmt.Errorf("non-increasing feature index %d after %d", idx, prev)
 		}
@@ -68,6 +78,11 @@ func parseFeatures(fields []string) (sparse.Row, error) {
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			return sparse.Row{}, fmt.Errorf("feature value %q: %w", valStr, err)
+		}
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			// ParseFloat accepts "NaN"/"Inf" spellings with a nil error;
+			// non-finite features poison every kernel evaluation downstream.
+			return sparse.Row{}, fmt.Errorf("feature value %q is not finite", valStr)
 		}
 		row.Idx = append(row.Idx, int32(idx-1))
 		row.Val = append(row.Val, val)

@@ -82,6 +82,15 @@ type Config struct {
 	// iterations recovers most of the accuracy at a fraction of the exact
 	// polish cost. 0 runs the polish to convergence.
 	PolishMaxIter int64
+
+	// PolishFull makes the polish solve the full training problem
+	// (warm-started from the coalesced union solution) instead of the
+	// support-vector union only. The union polish — the default — can leave
+	// samples outside the union violating KKT on the full QP, so its result
+	// is near-exact but not eps-optimal; the full polish is the refinement
+	// step that restores true eps-optimality, at the cost of a solve over
+	// all n samples (still warm-started, so far cheaper than a cold solve).
+	PolishFull bool
 }
 
 func (c Config) withDefaults() Config {
@@ -207,18 +216,31 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, err
 		st.CoalescedSVs = curX.Rows()
 	}
 
-	// Polish: a warm-started exact solve over the support-vector union
-	// (or, on the degenerate fallback, a cold solve of the full set).
+	// Polish: a warm-started exact solve over the support-vector union —
+	// or, with PolishFull, over the full training set with the union's
+	// alphas scattered back onto their original rows. (On the degenerate
+	// fallback the polish is a cold solve of the current level's input.)
 	t0 := time.Now()
 	sc := smo.Config{
 		Kernel: cfg.Kernel, C: cfg.C, Eps: cfg.Eps,
 		CacheBytes: cfg.CacheBytes, Shrinking: true,
 		MaxIter: cfg.PolishMaxIter,
 	}
+	polishX, polishY := curX, curY
 	if curA != nil {
 		sc.InitialAlpha = warmStartAlpha(curA, curY, cfg.C)
 	}
-	res, err := smo.Train(curX, curY, sc)
+	if cfg.PolishFull {
+		if curA != nil {
+			full, err := scatterAlpha(x, y, curX, curY, sc.InitialAlpha)
+			if err != nil {
+				return nil, nil, err
+			}
+			sc.InitialAlpha = full
+		}
+		polishX, polishY = x, y
+	}
+	res, err := smo.Train(polishX, polishY, sc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dcsvm: polish: %w", err)
 	}
@@ -434,6 +456,41 @@ func warmStartAlpha(alpha, y []float64, c float64) []float64 {
 		}
 	}
 	return balanceAlpha(trimmed, y, c)
+}
+
+// scatterAlpha maps a union-level dual vector back onto the full training
+// set for the PolishFull solve. Union rows are content copies of training
+// rows (SelectRows and SVTrainingSet both preserve row bytes), so each
+// union alpha is assigned to an unused training row with identical content
+// and label; identical duplicates are interchangeable for the warm start.
+// The scatter moves values without changing them, so the box and equality
+// feasibility established by warmStartAlpha carry over.
+func scatterAlpha(x *sparse.Matrix, y []float64, ux *sparse.Matrix, uy, ua []float64) ([]float64, error) {
+	key := func(r sparse.Row, label float64) string {
+		if label > 0 {
+			return "+" + r.Key()
+		}
+		return "-" + r.Key()
+	}
+	buckets := make(map[string][]int, x.Rows())
+	for i := 0; i < x.Rows(); i++ {
+		k := key(x.RowView(i), y[i])
+		buckets[k] = append(buckets[k], i)
+	}
+	full := make([]float64, x.Rows())
+	for j, a := range ua {
+		if a <= 0 {
+			continue
+		}
+		k := key(ux.RowView(j), uy[j])
+		idx := buckets[k]
+		if len(idx) == 0 {
+			return nil, fmt.Errorf("dcsvm: coalesced row %d matches no unused training row — union and training set are inconsistent", j)
+		}
+		full[idx[0]] = a
+		buckets[k] = idx[1:]
+	}
+	return full, nil
 }
 
 // balanceAlpha projects a coalesced warm start onto the dual equality

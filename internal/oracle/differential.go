@@ -1,0 +1,220 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dcsvm"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/smo"
+	"repro/internal/sparse"
+)
+
+// DiffOptions configures a differential run: which hyper-parameters every
+// engine is handed, and the per-engine knobs that must not change the
+// optimum they converge to.
+type DiffOptions struct {
+	Kernel kernel.Params
+	C      float64
+	Eps    float64 // 0 means 1e-3
+
+	// Heuristics are the core-engine shrinking strategies to cover; nil
+	// means all of Table II (the twelve shrinking rows plus the no-shrink
+	// Original baseline).
+	Heuristics []core.Heuristic
+	// P is the rank count for core runs; 0 means 1. Iterate sequences are
+	// p-independent by construction, so parity must hold at any p.
+	P int
+	// CacheBytes is the smo kernel-row cache budget; 0 means 16 MiB.
+	CacheBytes int64
+	// DCClusters is the dcsvm cluster count; 0 means 4.
+	DCClusters int
+	// Seed feeds dcsvm clustering; the whole run is deterministic in it.
+	Seed int64
+	// Workers bounds oracle verification goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Eps <= 0 {
+		o.Eps = 1e-3
+	}
+	if o.Heuristics == nil {
+		o.Heuristics = core.Table2()
+	}
+	if o.P <= 0 {
+		o.P = 1
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 16 << 20
+	}
+	if o.DCClusters <= 0 {
+		o.DCClusters = 4
+	}
+	return o
+}
+
+// EngineResult is one engine's trained model with its oracle report.
+type EngineResult struct {
+	Name   string
+	Model  *model.Model
+	Report *Report
+}
+
+// DiffReport is the outcome of a differential run over every engine.
+type DiffReport struct {
+	Results []EngineResult
+
+	// MaxSpread is the largest pairwise dual-objective disagreement;
+	// LowEngine/HighEngine name the pair that attains it.
+	MaxSpread  float64
+	LowEngine  string
+	HighEngine string
+	// SpreadTolerance is the engine-independent bound two eps-approximate
+	// solutions may differ by (each is within GapTolerance of the optimum).
+	SpreadTolerance float64
+}
+
+// Check returns nil when every engine individually passes its oracle check
+// and all pairwise dual objectives agree within tolerance. On failure the
+// error names the disagreeing engines and the worst-violating sample with
+// full context, so the offending heuristic and sample are identifiable
+// from the message alone.
+func (d *DiffReport) Check() error {
+	for _, r := range d.Results {
+		if err := r.Report.Check(); err != nil {
+			return fmt.Errorf("engine %s: %w", r.Name, err)
+		}
+	}
+	if d.MaxSpread > d.SpreadTolerance {
+		var lowRep *Report
+		for _, r := range d.Results {
+			if r.Name == d.LowEngine {
+				lowRep = r.Report
+			}
+		}
+		detail := ""
+		if lowRep != nil {
+			detail = fmt.Sprintf("; worst violator of %s: %s", d.LowEngine, lowRep.Worst)
+		}
+		return fmt.Errorf("oracle: dual objectives disagree by %.6g (tolerance %.6g): %s=%.6f vs %s=%.6f%s",
+			d.MaxSpread, d.SpreadTolerance,
+			d.LowEngine, lowObjective(d), d.HighEngine, highObjective(d), detail)
+	}
+	return nil
+}
+
+func lowObjective(d *DiffReport) float64 {
+	for _, r := range d.Results {
+		if r.Name == d.LowEngine {
+			return r.Report.DualObjective
+		}
+	}
+	return math.NaN()
+}
+
+func highObjective(d *DiffReport) float64 {
+	for _, r := range d.Results {
+		if r.Name == d.HighEngine {
+			return r.Report.DualObjective
+		}
+	}
+	return math.NaN()
+}
+
+// RunDifferential trains every engine on the same problem and verifies
+// each result with the oracle:
+//
+//   - the distributed core solver under every requested Table II heuristic
+//     (the no-shrink Original is the reference the paper's exactness claim
+//     compares against);
+//   - the libsvm-enhanced smo baseline, cold-started and then warm-started
+//     from its own recovered solution (the warm path must not move the
+//     optimum);
+//   - divide-and-conquer training with the polish run to convergence.
+//
+// Training errors abort the run; verification failures do not — they are
+// recorded in the reports so Check can present every engine's state.
+func RunDifferential(x *sparse.Matrix, y []float64, opts DiffOptions) (*DiffReport, error) {
+	opts = opts.withDefaults()
+	prob := Problem{X: x, Y: y, Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps, Workers: opts.Workers}
+
+	d := &DiffReport{SpreadTolerance: GapTolerance(x.Rows(), opts.C, opts.Eps)}
+	add := func(name string, m *model.Model) error {
+		rep, err := prob.VerifyModel(m)
+		if err != nil {
+			return fmt.Errorf("oracle: engine %s: %w", name, err)
+		}
+		d.Results = append(d.Results, EngineResult{Name: name, Model: m, Report: rep})
+		return nil
+	}
+
+	for _, h := range opts.Heuristics {
+		m, _, err := core.TrainParallel(x, y, opts.P, core.Config{
+			Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps, Heuristic: h,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: core/%s: %w", h.Name, err)
+		}
+		if err := add("core/"+h.Name, m); err != nil {
+			return nil, err
+		}
+	}
+
+	cold, err := smo.Train(x, y, smo.Config{
+		Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps,
+		CacheBytes: opts.CacheBytes, Shrinking: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: smo-cold: %w", err)
+	}
+	if err := add("smo-cold", cold.Model); err != nil {
+		return nil, err
+	}
+
+	warmAlpha, err := RecoverAlpha(x, y, cold.Model)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: smo-warm start: %w", err)
+	}
+	warm, err := smo.Train(x, y, smo.Config{
+		Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps,
+		CacheBytes: opts.CacheBytes, Shrinking: true,
+		InitialAlpha: warmAlpha,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: smo-warm: %w", err)
+	}
+	if err := add("smo-warm", warm.Model); err != nil {
+		return nil, err
+	}
+
+	// PolishFull is what makes dcsvm comparable at eps-exactness: the
+	// default union-only polish leaves out-of-union samples unchecked, so
+	// only the full-problem refinement converges to the shared optimum.
+	dcm, _, err := dcsvm.Train(x, y, dcsvm.Config{
+		Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps,
+		Clusters: opts.DCClusters, Seed: opts.Seed, SubSolver: "smo",
+		PolishFull: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: dcsvm: %w", err)
+	}
+	if err := add("dcsvm", dcm); err != nil {
+		return nil, err
+	}
+
+	low, high := math.Inf(1), math.Inf(-1)
+	for _, r := range d.Results {
+		obj := r.Report.DualObjective
+		if obj < low {
+			low, d.LowEngine = obj, r.Name
+		}
+		if obj > high {
+			high, d.HighEngine = obj, r.Name
+		}
+	}
+	d.MaxSpread = high - low
+	return d, nil
+}

@@ -1,0 +1,113 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+)
+
+// TestRunDifferentialAllHeuristics is the paper's exactness claim as an
+// executable statement: on three seeded datasets, every Table II shrinking
+// heuristic, the no-shrink baseline, cold and warm smo, and dcsvm must land
+// on the same dual optimum within the eps-approximation tolerance, and every
+// one of those models must individually satisfy the KKT oracle.
+func TestRunDifferentialAllHeuristics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential harness trains every engine; skipped in -short")
+	}
+	cases := []struct {
+		name  string
+		scale float64
+	}{
+		{"blobs", 0.15},
+		{"codrna", 0.005},
+		{"mushrooms", 0.05},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			ds := dataset.MustGenerate(tc.name, tc.scale)
+			d, err := RunDifferential(ds.X, ds.Y, DiffOptions{
+				Kernel: kernel.FromSigma2(ds.Sigma2),
+				C:      ds.C,
+				Eps:    1e-3,
+				Seed:   7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// All Table II rows plus smo-cold, smo-warm, dcsvm.
+			if want := len(core.Table2()) + 3; len(d.Results) != want {
+				t.Fatalf("got %d engine results, want %d", len(d.Results), want)
+			}
+			seen := make(map[string]bool, len(d.Results))
+			for _, r := range d.Results {
+				seen[r.Name] = true
+			}
+			for _, h := range core.Table2() {
+				if !seen["core/"+h.Name] {
+					t.Errorf("missing engine core/%s", h.Name)
+				}
+			}
+			for _, name := range []string{"smo-cold", "smo-warm", "dcsvm"} {
+				if !seen[name] {
+					t.Errorf("missing engine %s", name)
+				}
+			}
+			if err := d.Check(); err != nil {
+				t.Errorf("differential parity on %s: %v", tc.name, err)
+			}
+			if d.MaxSpread < 0 {
+				t.Errorf("negative spread %v", d.MaxSpread)
+			}
+			t.Logf("%s: n=%d spread=%.3g (tol %.3g) low=%s high=%s",
+				tc.name, ds.X.Rows(), d.MaxSpread, d.SpreadTolerance, d.LowEngine, d.HighEngine)
+		})
+	}
+}
+
+// TestDiffReportCheckNamesDisagreement drives the failure path directly: a
+// spread above tolerance must produce a diagnostic naming both engines and
+// the worst-violating sample of the low one.
+func TestDiffReportCheckNamesDisagreement(t *testing.T) {
+	mk := func(obj, viol float64, idx int) *Report {
+		return &Report{
+			N: 2, Eps: 1e-3, C: 1,
+			DualObjective:   obj,
+			PrimalObjective: obj,
+			MaxKKTViolation: viol,
+			Worst:           WorstSample{Index: idx, Alpha: 0.5, Set: "I0", Violation: viol},
+		}
+	}
+	d := &DiffReport{
+		Results: []EngineResult{
+			{Name: "core/Original", Report: mk(1.0, 0, 3)},
+			{Name: "core/Single2", Report: mk(0.4, 1e-3, 17)},
+		},
+		MaxSpread:       0.6,
+		LowEngine:       "core/Single2",
+		HighEngine:      "core/Original",
+		SpreadTolerance: 0.01,
+	}
+	err := d.Check()
+	if err == nil {
+		t.Fatal("Check accepted a 0.6 objective spread at tolerance 0.01")
+	}
+	for _, want := range []string{"core/Single2", "core/Original", "sample 17", "disagree"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", err.Error(), want)
+		}
+	}
+
+	// Per-engine oracle failures surface before the spread comparison.
+	d.Results[0].Report.MaxKKTViolation = 1
+	d.Results[0].Report.Worst = WorstSample{Index: 9, Set: "I1", Violation: 1}
+	err = d.Check()
+	if err == nil || !strings.Contains(err.Error(), "core/Original") || !strings.Contains(err.Error(), "sample 9") {
+		t.Errorf("per-engine failure should name engine and sample, got %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package oracle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/smo"
+	"repro/internal/sparse"
+)
+
+// twoSampleProblem is the analytically solvable QP used by the exactness
+// tests: x1 = (1), y1 = +1 and x2 = (-1), y2 = -1 under the linear kernel.
+// The dual forces alpha1 = alpha2 = a and W(a) = 2a - 2a^2, so the optimum
+// is a = 1/2 with W = 1/2, beta = 0, and zero duality gap.
+func twoSampleProblem() Problem {
+	return Problem{
+		X:      sparse.FromDense([][]float64{{1}, {-1}}),
+		Y:      []float64{1, -1},
+		Kernel: kernel.Params{Type: kernel.Linear},
+		C:      10,
+		Eps:    1e-3,
+	}
+}
+
+func TestVerifyAlphaExactOptimum(t *testing.T) {
+	p := twoSampleProblem()
+	rep, err := p.VerifyAlpha([]float64{0.5, 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.DualObjective, 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("dual objective = %v, want %v", got, want)
+	}
+	if got, want := rep.PrimalObjective, 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("primal objective = %v, want %v", got, want)
+	}
+	if rep.DualityGap > 1e-12 || rep.DualityGap < -1e-12 {
+		t.Errorf("duality gap = %v, want 0", rep.DualityGap)
+	}
+	if rep.MaxKKTViolation > 1e-12 {
+		t.Errorf("max KKT violation = %v, want 0", rep.MaxKKTViolation)
+	}
+	if rep.NumSV != 2 || rep.N != 2 {
+		t.Errorf("N=%d NumSV=%d, want 2/2", rep.N, rep.NumSV)
+	}
+	if err := rep.Check(); err != nil {
+		t.Errorf("Check at the exact optimum: %v", err)
+	}
+	if !strings.Contains(rep.String(), "OK") {
+		t.Errorf("String should report OK:\n%s", rep.String())
+	}
+}
+
+func TestVerifyAlphaDetectsEqualityViolation(t *testing.T) {
+	p := twoSampleProblem()
+	rep, err := p.VerifyAlpha([]float64{0.5, 0.3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.EqualityResidual; math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("equality residual = %v, want 0.2", got)
+	}
+	if err := rep.Check(); err == nil || !strings.Contains(err.Error(), "sum(alpha*y)") {
+		t.Errorf("Check should flag the equality constraint, got %v", err)
+	}
+}
+
+func TestVerifyAlphaDetectsBoxViolation(t *testing.T) {
+	p := twoSampleProblem()
+	rep, err := p.VerifyAlpha([]float64{11, 11}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.BoxViolation; math.Abs(got-1) > 1e-12 {
+		t.Errorf("box violation = %v, want 1", got)
+	}
+	if err := rep.Check(); err == nil || !strings.Contains(err.Error(), "box") {
+		t.Errorf("Check should flag the box constraint, got %v", err)
+	}
+}
+
+func TestVerifyAlphaDetectsKKTViolationWithContext(t *testing.T) {
+	p := twoSampleProblem()
+	// A wrong threshold turns both free samples into violators.
+	rep, err := p.VerifyAlpha([]float64{0.5, 0.5}, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.MaxKKTViolation; math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("max KKT violation = %v, want 0.75", got)
+	}
+	err = rep.Check()
+	if err == nil {
+		t.Fatal("Check should fail for a shifted threshold")
+	}
+	// The diagnostic must carry full context on the worst violator.
+	for _, want := range []string{"sample", "alpha", "I0", "violation"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+func TestVerifyAlphaRejectsBadInput(t *testing.T) {
+	p := twoSampleProblem()
+	if _, err := p.VerifyAlpha([]float64{0.5}, 0); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := p.VerifyAlpha([]float64{math.NaN(), 0.5}, 0); err == nil {
+		t.Error("NaN alpha accepted")
+	}
+	bad := p
+	bad.C = 0
+	if _, err := bad.VerifyAlpha([]float64{0.5, 0.5}, 0); err == nil {
+		t.Error("C = 0 accepted")
+	}
+}
+
+func TestRecoverAlphaRoundTrip(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.1)
+	kp := kernel.FromSigma2(ds.Sigma2)
+	res, err := smo.Train(ds.X, ds.Y, smo.Config{Kernel: kp, C: ds.C, Eps: 1e-3, Shrinking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, err := RecoverAlpha(ds.X, ds.Y, res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsv := 0
+	var mass float64
+	for _, a := range alpha {
+		if a > 0 {
+			nsv++
+			mass += a
+		}
+	}
+	if nsv != res.Model.NumSV() {
+		t.Errorf("recovered %d nonzero alphas for %d support vectors", nsv, res.Model.NumSV())
+	}
+	var coefMass float64
+	for _, c := range res.Model.Coef {
+		coefMass += math.Abs(c)
+	}
+	if math.Abs(mass-coefMass) > 1e-9*(1+coefMass) {
+		t.Errorf("recovered alpha mass %v != model coefficient mass %v", mass, coefMass)
+	}
+
+	prob := Problem{X: ds.X, Y: ds.Y, Kernel: kp, C: ds.C, Eps: 1e-3}
+	rep, err := prob.VerifyModel(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Errorf("converged smo model fails the oracle: %v", err)
+	}
+}
+
+func TestRecoverAlphaRejectsForeignModel(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.1)
+	foreign := &model.Model{
+		Kernel: kernel.FromSigma2(ds.Sigma2),
+		C:      ds.C,
+		SV:     sparse.FromDense([][]float64{{123.25, -7.5}}),
+		Coef:   []float64{1},
+		Beta:   0,
+	}
+	if _, err := RecoverAlpha(ds.X, ds.Y, foreign); err == nil {
+		t.Error("support vector absent from the training set should be rejected")
+	} else if !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("want a consistency diagnostic, got %v", err)
+	}
+}
+
+func TestVerifyModelDetectsCorruptedCoefficient(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.1)
+	kp := kernel.FromSigma2(ds.Sigma2)
+	res, err := smo.Train(ds.X, ds.Y, smo.Config{Kernel: kp, C: ds.C, Eps: 1e-3, Shrinking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Halving one coefficient silently breaks optimality without touching
+	// the SV set — exactly the corruption accuracy checks cannot see.
+	res.Model.Coef[0] /= 2
+	prob := Problem{X: ds.X, Y: ds.Y, Kernel: kp, C: ds.C, Eps: 1e-3}
+	rep, err := prob.VerifyModel(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("oracle accepted a model with a corrupted coefficient")
+	}
+}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestHotReloadStress is the race-hardening test for the registry's
+// hot-reload path: predictor goroutines hammer the predict handler while a
+// reloader alternates the model file between two versions and republishes
+// it over the HTTP reload endpoint. Every response must be internally
+// consistent — the decision value must match the version the response
+// claims was served — which is exactly the snapshot-pinning guarantee a
+// torn reload would break. The test is fully deterministic: bounded
+// request/reload counts, in-process recorders, no sleeps or wall-clock
+// dependence. It is designed to run under -race (the default CI test job).
+func TestHotReloadStress(t *testing.T) {
+	const (
+		predictors = 8
+		requests   = 150 // per predictor
+		reloads    = 120
+		betaA      = 0.25 // odd versions (the initial Add is version 1)
+		betaB      = 5.25 // even versions
+	)
+	dir := t.TempDir()
+	path := dir + "/hot.model"
+	staticPath := dir + "/static.model"
+	saveModel(t, testModel(betaA), path)
+	saveModel(t, testModel(-1), staticPath)
+
+	reg := NewRegistry()
+	if err := reg.Add("hot", path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Add("static", staticPath); err != nil {
+		t.Fatal(err)
+	}
+	handler := New(reg, Config{}).Handler()
+
+	// The probe row's raw (beta-free) decision value, computed once from a
+	// reference model: the served decision must equal raw - beta(version).
+	probe := "1:0.7 2:0.2"
+	probeRow, err := dataset.ParseRow(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawDV := testModel(0).DecisionValue(probeRow)
+
+	body, err := json.Marshal(PredictRequest{
+		Model:     "hot",
+		Instances: []Instance{{Libsvm: probe}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticBody, err := json.Marshal(PredictRequest{
+		Model:     "static",
+		Instances: []Instance{{Libsvm: probe}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, predictors+1)
+
+	// Reloader: rewrite the file with the other beta, then publish it via
+	// POST /v1/models/hot/reload. Writing and reloading from one goroutine
+	// keeps the file itself race-free; the contested state is the snapshot
+	// pointer the predictors read.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 2; v <= reloads+1; v++ {
+			beta := betaA
+			if v%2 == 0 {
+				beta = betaB
+			}
+			m := testModel(beta)
+			if err := m.Save(path); err != nil {
+				errc <- fmt.Errorf("reload %d: save: %w", v, err)
+				return
+			}
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest("POST", "/v1/models/hot/reload", nil)
+			handler.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				errc <- fmt.Errorf("reload %d: status %d: %s", v, rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < predictors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				// Interleave a static-model request so reloads of one entry
+				// are observed to never disturb another.
+				payload, wantModel := body, "hot"
+				if i%5 == 4 {
+					payload, wantModel = staticBody, "static"
+				}
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(payload))
+				req.Header.Set("Content-Type", "application/json")
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("predictor %d req %d: status %d: %s", g, i, rec.Code, rec.Body.String())
+					return
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+					errc <- fmt.Errorf("predictor %d req %d: %w", g, i, err)
+					return
+				}
+				if pr.Model != wantModel || len(pr.Predictions) != 1 {
+					errc <- fmt.Errorf("predictor %d req %d: response %+v", g, i, pr)
+					return
+				}
+				dv := pr.Predictions[0].Decision
+				switch wantModel {
+				case "static":
+					if pr.Version != 1 {
+						errc <- fmt.Errorf("predictor %d req %d: static model reports version %d", g, i, pr.Version)
+						return
+					}
+					if math.Abs(dv-(rawDV+1)) > 1e-9 {
+						errc <- fmt.Errorf("predictor %d req %d: static decision %v, want %v", g, i, dv, rawDV+1)
+						return
+					}
+				case "hot":
+					if pr.Version < 1 || pr.Version > reloads+1 {
+						errc <- fmt.Errorf("predictor %d req %d: version %d out of range", g, i, pr.Version)
+						return
+					}
+					// Snapshot pinning: the decision must match the beta of
+					// the exact version the response says it served.
+					wantBeta := betaA
+					if pr.Version%2 == 0 {
+						wantBeta = betaB
+					}
+					if math.Abs(dv-(rawDV-wantBeta)) > 1e-9 {
+						errc <- fmt.Errorf("predictor %d req %d: version %d decision %v, want %v (torn snapshot?)",
+							g, i, pr.Version, dv, rawDV-wantBeta)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// After the storm, the entry must be live at its final version.
+	snap, ok := reg.Get("hot")
+	if !ok {
+		t.Fatal("hot model vanished")
+	}
+	if snap.Version != reloads+1 {
+		t.Errorf("final version %d, want %d", snap.Version, reloads+1)
+	}
+}

@@ -1,0 +1,73 @@
+// Oracle parity for the libsvm-enhanced baseline (external test package:
+// the oracle imports smo). Every solver mode — shrinking on/off, first- and
+// second-order working-set selection, cold and warm starts, multi-worker —
+// must terminate at an eps-approximate optimum of the same QP.
+package smo_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/oracle"
+	"repro/internal/smo"
+)
+
+func TestOracleParityAcrossModes(t *testing.T) {
+	ds := dataset.MustGenerate("blobs", 0.1)
+	kp := kernel.FromSigma2(ds.Sigma2)
+	prob := oracle.Problem{X: ds.X, Y: ds.Y, Kernel: kp, C: ds.C, Eps: 1e-3}
+	base := smo.Config{Kernel: kp, C: ds.C, Eps: 1e-3}
+
+	cases := []struct {
+		name string
+		mod  func(*smo.Config)
+	}{
+		{"plain", func(c *smo.Config) {}},
+		{"shrinking", func(c *smo.Config) { c.Shrinking = true }},
+		{"second-order", func(c *smo.Config) { c.SecondOrder = true }},
+		{"shrinking+second-order", func(c *smo.Config) { c.Shrinking = true; c.SecondOrder = true }},
+		{"workers=3", func(c *smo.Config) { c.Workers = 3; c.Shrinking = true }},
+	}
+	var warmFrom []float64
+	for _, tc := range cases {
+		cfg := base
+		tc.mod(&cfg)
+		res, err := smo.Train(ds.X, ds.Y, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		rep, err := prob.VerifyModel(res.Model)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := rep.Check(); err != nil {
+			t.Errorf("%s fails the oracle: %v", tc.name, err)
+		}
+		if diff := rep.DualObjective - res.Objective; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s: oracle dual %.9f vs solver %.9f", tc.name, rep.DualObjective, res.Objective)
+		}
+		if warmFrom == nil {
+			warmFrom, err = oracle.RecoverAlpha(ds.X, ds.Y, res.Model)
+			if err != nil {
+				t.Fatalf("%s: recover: %v", tc.name, err)
+			}
+		}
+	}
+
+	// Warm start from a recovered solution must stay at the optimum.
+	cfg := base
+	cfg.Shrinking = true
+	cfg.InitialAlpha = warmFrom
+	res, err := smo.Train(ds.X, ds.Y, cfg)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	rep, err := prob.VerifyModel(res.Model)
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Errorf("warm-started solve fails the oracle: %v", err)
+	}
+}

@@ -56,6 +56,23 @@ func (m *Matrix) RowView(i int) Row {
 // RowNNZ returns the number of stored entries in row i.
 func (m *Matrix) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
 
+// Key returns a binary content key for the row: two rows have equal keys
+// exactly when their stored (index, value) sequences are bit-identical.
+// Callers use it to match rows across matrices (e.g. a model's support
+// vectors back to the training set) without positional information.
+func (r Row) Key() string {
+	b := make([]byte, 0, 12*len(r.Idx))
+	for k, idx := range r.Idx {
+		b = append(b,
+			byte(idx), byte(idx>>8), byte(idx>>16), byte(idx>>24))
+		v := math.Float64bits(r.Val[k])
+		b = append(b,
+			byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+	}
+	return string(b)
+}
+
 // AvgRowNNZ returns the mean number of stored entries per row
 // (the paper's symbol m, "average sample length").
 func (m *Matrix) AvgRowNNZ() float64 {
