@@ -22,6 +22,15 @@
 // eps-approximate optimum:
 //
 //	svmtrain -dataset blobs -dataset-scale 0.5 -verify
+//
+// With -checkpoint-dir the run periodically writes a crash-consistent
+// checkpoint (two generations are retained); a later invocation with the
+// same data and -resume warm-starts from the newest valid snapshot. The
+// -inject-crash-* flags drive the mpi fault injector for recovery drills:
+//
+//	svmtrain -dataset blobs -checkpoint-dir ckpt -checkpoint-every 25 \
+//	    -inject-crash-rank 1 -inject-crash-at 2000   # fails mid-training
+//	svmtrain -dataset blobs -checkpoint-dir ckpt -resume -verify
 package main
 
 import (
@@ -31,12 +40,14 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cv"
 	"repro/internal/dataset"
 	"repro/internal/dcsvm"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/mpi"
 	"repro/internal/oracle"
 	"repro/internal/probability"
 	"repro/internal/smo"
@@ -74,6 +85,15 @@ func run() error {
 		seed      = flag.Int64("seed", 7, "seed for dataset generation, CV fold shuffling, and dc clustering")
 		verify    = flag.Bool("verify", false, "after training, verify the model against the QP (KKT violations, duality gap) and print the oracle report; exit nonzero on failure")
 		quiet     = flag.Bool("q", false, "suppress the summary")
+
+		ckptDir    = flag.String("checkpoint-dir", "", "directory for crash-consistent training checkpoints (empty = checkpointing off)")
+		ckptEvery  = flag.Int64("checkpoint-every", 1000, "iterations between checkpoints (core/smo; dc checkpoints at cluster and level boundaries plus every N polish iterations)")
+		ckptMinGap = flag.Duration("checkpoint-min-interval", 100*time.Millisecond, "debounce: skip a checkpoint arriving sooner than this after the previous one (0 = save on every trigger)")
+		resume     = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir instead of starting cold")
+
+		crashRank    = flag.Int("inject-crash-rank", -1, "fault injection: rank to kill (core solver, or dc core sub-solves); -1 = off")
+		crashAt      = flag.Int64("inject-crash-at", 0, "fault injection: kill the rank at its Nth point-to-point operation (requires -inject-crash-rank >= 0)")
+		crashCluster = flag.Int("inject-crash-cluster", 0, "fault injection: dc cluster whose sub-solve receives the fault plan (dc solver)")
 
 		dcClusters    = flag.Int("dc-clusters", 8, "k-means clusters at the finest dc level")
 		dcLevels      = flag.Int("dc-levels", 1, "dc hierarchy depth (level l uses dc-clusters/2^l clusters)")
@@ -128,6 +148,41 @@ func run() error {
 		kp = kernel.FromSigma2(*sigma2)
 	}
 
+	// Checkpointing, resume and fault injection are shared across engines:
+	// the writer and the fault plan are built once, and each solver case
+	// threads them into its own config.
+	var ckptW *ckpt.Writer
+	if *ckptDir != "" {
+		if ckptW, err = ckpt.NewWriter(*ckptDir); err != nil {
+			return err
+		}
+		ckptW.SetMinInterval(*ckptMinGap)
+	}
+	var resumeSt *ckpt.State
+	if *resume {
+		if *ckptDir == "" {
+			return fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		st, path, err := ckpt.Load(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		if err := st.Matches(x, y); err != nil {
+			return fmt.Errorf("resume: checkpoint does not match the training data: %w", err)
+		}
+		resumeSt = st
+		if !*quiet {
+			fmt.Printf("resuming from %s: solver=%s iteration=%d\n", path, st.Solver, st.Iteration)
+		}
+	}
+	var faults mpi.FaultPlan
+	if *crashRank >= 0 {
+		if *crashAt <= 0 {
+			return fmt.Errorf("-inject-crash-rank requires -inject-crash-at > 0")
+		}
+		faults = mpi.FaultPlan{CrashRank: *crashRank, CrashAtOp: *crashAt}
+	}
+
 	start := time.Now()
 	var m *model.Model
 	var summary string
@@ -136,9 +191,13 @@ func run() error {
 		cfg := core.Config{
 			Kernel: kp, C: *c, Eps: *eps, Heuristic: h,
 			RecordTrace: *tracePath != "", DatasetName: *dsName,
+			Checkpoint: ckptW, CheckpointEvery: *ckptEvery, CheckpointSeed: *seed,
+		}
+		if resumeSt != nil {
+			cfg.InitialAlpha = resumeSt.Alpha
 		}
 		var st *core.Stats
-		m, st, err = core.TrainParallel(x, y, *p, cfg)
+		m, st, _, err = core.TrainParallelOpts(x, y, *p, cfg, mpi.Options{Faults: faults})
 		if err != nil {
 			return err
 		}
@@ -155,8 +214,12 @@ func run() error {
 			if err != nil {
 				return fmt.Errorf("probability calibration: %w", err)
 			}
+			// CV folds are different datasets: they must train cold and
+			// must not write into the main run's checkpoint directory.
+			fcfg := cfg
+			fcfg.Checkpoint, fcfg.InitialAlpha = nil, nil
 			sig, err := probability.CalibrateCV(x, y, splits, func(fx *sparse.Matrix, fy []float64) (*model.Model, error) {
-				fm, _, err := core.TrainParallel(fx, fy, *p, cfg)
+				fm, _, err := core.TrainParallel(fx, fy, *p, fcfg)
 				return fm, err
 			})
 			if err != nil {
@@ -169,15 +232,20 @@ func run() error {
 		cfg := smo.Config{
 			Kernel: kp, C: *c, Eps: *eps, Workers: *workers,
 			CacheBytes: 1 << 30, Shrinking: true,
+			Checkpoint: ckptW, CheckpointEvery: *ckptEvery, CheckpointSeed: *seed,
+		}
+		if resumeSt != nil {
+			cfg.InitialAlpha = resumeSt.Alpha
 		}
 		res, err := smo.Train(x, y, cfg)
 		if err != nil {
 			return err
 		}
 		m = res.Model
-		summary = fmt.Sprintf("converged=%v iterations=%d cache-hit=%.1f%% SVs=%d",
+		summary = fmt.Sprintf("converged=%v iterations=%d cache-hit=%.1f%% cache-evictions=%d SVs=%d",
 			res.Converged, res.Iterations,
 			100*float64(res.CacheHits)/float64(max(1, res.CacheHits+res.CacheMisses)),
+			res.CacheEvictions,
 			m.NumSV())
 	case "dc":
 		cfg := dcsvm.Config{
@@ -186,6 +254,11 @@ func run() error {
 			KernelSpace: *dcKernelSpace,
 			SubSolver:   *dcSubSolver, P: *p, Workers: *workers,
 			PolishFull: *dcPolishFull,
+			Checkpoint: ckptW, CheckpointEvery: *ckptEvery, CheckpointSeed: *seed,
+			SubFaults: faults, SubFaultCluster: *crashCluster,
+		}
+		if resumeSt != nil {
+			cfg.ResumeAlpha = resumeSt.Alpha
 		}
 		if !*dcPolish {
 			cfg.PolishMaxIter = 100

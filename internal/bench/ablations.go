@@ -114,7 +114,7 @@ func RunAblationCache(o Options) (*Report, error) {
 	rep := &Report{
 		ID:     "ablation-cache",
 		Title:  fmt.Sprintf("Kernel-cache budget in libsvm-enhanced on %s", ds.Name),
-		Header: []string{"cache", "hit-rate", "kernel-evals", "elapsed"},
+		Header: []string{"cache", "hit-rate", "evictions", "kernel-evals", "elapsed"},
 	}
 	rowBytes := int64(8 * ds.Train())
 	budgets := []struct {
@@ -142,7 +142,8 @@ func RunAblationCache(o Options) (*Report, error) {
 			hitRate = float64(h) / float64(h+m)
 		}
 		rep.Rows = append(rep.Rows, []string{
-			b.name, pct(hitRate), fmt.Sprintf("%d", res.KernelEvals), elapsed.Round(time.Millisecond).String(),
+			b.name, pct(hitRate), fmt.Sprintf("%d", res.CacheEvictions),
+			fmt.Sprintf("%d", res.KernelEvals), elapsed.Round(time.Millisecond).String(),
 		})
 	}
 	rep.Notes = append(rep.Notes, "the distributed solver forgoes the cache entirely: Theta(N^2) space cannot scale")

@@ -149,6 +149,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-wss", Title: "Ablation: working-set selection (max violating pair vs second-order)", Run: RunAblationWSS},
 		{ID: "dcsvm", Title: "Divide-and-conquer training vs exact full solves (wall-clock)", Run: RunDCSVM},
 		{ID: "oracle", Title: "Cross-solver correctness oracle: duality gap and KKT violations per engine", Run: RunOracle},
+		{ID: "ckpt", Title: "Checkpoint overhead and resume cost per training engine", Run: RunCkpt},
 		{ID: "validate-model", Title: "Cross-check: analytic model vs executed virtual time", Run: RunValidateModel},
 	}
 }

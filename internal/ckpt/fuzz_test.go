@@ -1,0 +1,99 @@
+package ckpt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzSeeds builds the committed corpus shapes in code so the seeds and the
+// testdata files (generated from the same constructors) cannot drift apart:
+// a valid record, truncations at interesting boundaries, a flipped CRC, a
+// bad version, a bad magic, and a forged huge slice length.
+func fuzzSeeds() [][]byte {
+	st := &State{
+		Solver:      SolverCore,
+		Iteration:   10,
+		Seed:        7,
+		Fingerprint: 0x0123456789abcdef,
+		N:           3,
+		Alpha:       []float64{0.5, 0, 2},
+		Gamma:       []float64{-1, 1, 0.25},
+		Active:      []bool{true, false, true},
+	}
+	valid := Encode(st)
+
+	flipCRC := append([]byte(nil), valid...)
+	flipCRC[12] ^= 0xff
+
+	badVersion := append([]byte(nil), valid...)
+	badVersion[8] = 0x7f
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[3] ^= 0x20
+
+	// Forge an absurd alpha length: the length prefix sits right after the
+	// fixed scalar block (1 + len(solver) + 5*8 + 3*4 bytes into payload).
+	hugeLen := append([]byte(nil), valid...)
+	off := headerSize + 1 + len(st.Solver) + 5*8 + 3*4
+	for i := 0; i < 8; i++ {
+		hugeLen[off+i] = 0xff
+	}
+
+	minimal := Encode(&State{Solver: SolverSMO, N: 1, Alpha: []float64{0}})
+
+	return [][]byte{
+		valid,
+		minimal,
+		valid[:headerSize-1],
+		valid[:headerSize+3],
+		valid[:len(valid)-1],
+		flipCRC,
+		badVersion,
+		badMagic,
+		hugeLen,
+		[]byte(Magic),
+		{},
+	}
+}
+
+// FuzzDecodeState drives the checkpoint decoder with arbitrary bytes. The
+// contract is strict: no panic and no huge allocation on any input; every
+// accepted record satisfies the structural invariants resume depends on
+// (alpha length, finite values, canonical re-encode).
+func FuzzDecodeState(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if st.N <= 0 || len(st.Alpha) != st.N {
+			t.Fatalf("accepted state with N=%d, %d alphas", st.N, len(st.Alpha))
+		}
+		if len(st.Gamma) != 0 && len(st.Gamma) != st.N {
+			t.Fatalf("accepted state with %d gammas for %d samples", len(st.Gamma), st.N)
+		}
+		if len(st.Active) != 0 && len(st.Active) != st.N {
+			t.Fatalf("accepted state with %d active flags for %d samples", len(st.Active), st.N)
+		}
+		for i, v := range st.Alpha {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite alpha[%d] = %v", i, v)
+			}
+		}
+		for i, v := range st.Gamma {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted non-finite gamma[%d] = %v", i, v)
+			}
+		}
+		// The format is canonical: any accepted byte string must equal the
+		// re-encoding of its decode. This pins down malleability — there is
+		// exactly one valid serialization per state.
+		if !bytes.Equal(Encode(st), data) {
+			t.Fatalf("accepted non-canonical encoding (%d bytes)", len(data))
+		}
+	})
+}

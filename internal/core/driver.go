@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/ckpt"
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/sparse"
@@ -23,15 +24,28 @@ func TrainParallel(x *sparse.Matrix, y []float64, p int, cfg Config) (*model.Mod
 // cfg.Lambda > 0 the makespan includes modeled compute time, making it
 // directly comparable to the analytic perfmodel predictions.
 func TrainParallelTimed(x *sparse.Matrix, y []float64, p int, cfg Config, net mpi.NetModel) (*model.Model, *Stats, float64, error) {
+	return TrainParallelOpts(x, y, p, cfg, mpi.Options{Net: net})
+}
+
+// TrainParallelOpts is the fully-general entry point: it accepts the whole
+// mpi.Options, so callers can combine the time model with fault injection
+// (Options.Faults) — the path the crash-recovery tests and the svmtrain
+// -inject-crash-* flags use. When checkpointing is configured and no
+// dataset fingerprint was supplied, it is computed here, once, from the
+// training data.
+func TrainParallelOpts(x *sparse.Matrix, y []float64, p int, cfg Config, opts mpi.Options) (*model.Model, *Stats, float64, error) {
 	if p <= 0 {
 		return nil, nil, 0, fmt.Errorf("core: process count must be positive, got %d", p)
 	}
 	if p > x.Rows() {
 		return nil, nil, 0, fmt.Errorf("core: more ranks (%d) than samples (%d)", p, x.Rows())
 	}
+	if cfg.Checkpoint != nil && cfg.CheckpointFingerprint == 0 {
+		cfg.CheckpointFingerprint = ckpt.Fingerprint(x, y)
+	}
 	models := make([]*model.Model, p)
 	stats := make([]*Stats, p)
-	times, err := mpi.RunTimed(p, mpi.Options{Net: net}, func(c *mpi.Comm) error {
+	times, err := mpi.RunTimed(p, opts, func(c *mpi.Comm) error {
 		pt, err := NewPartition(x, y, p, c.Rank())
 		if err != nil {
 			return err

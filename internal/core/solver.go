@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/ckpt"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/mpi"
@@ -55,6 +56,24 @@ type Config struct {
 
 	// MaxIter bounds the iteration count; 0 means a generous default.
 	MaxIter int64
+
+	// InitialAlpha warm-starts the solver from a feasible global dual
+	// vector (length = total sample count, dataset row order), e.g. a
+	// checkpoint's alpha. Each rank takes its partition's slice, clamps to
+	// the box, rebuilds the gradients with a ring pass, and the run
+	// proceeds exactly like a cold start from that point. The vector must
+	// satisfy 0 <= alpha_i <= C and (globally) sum alpha_i*y_i ~= 0.
+	InitialAlpha []float64
+
+	// Checkpoint, when non-nil, makes the solver persist a coordinated
+	// snapshot (barrier + rank-order gather of alpha/gamma/active at rank
+	// 0) every CheckpointEvery iterations. CheckpointSeed and
+	// CheckpointFingerprint are recorded in the snapshot; TrainParallelOpts
+	// fills the fingerprint from the training data automatically.
+	Checkpoint            *ckpt.Writer
+	CheckpointEvery       int64
+	CheckpointSeed        int64
+	CheckpointFingerprint uint64
 
 	// RecordTrace makes rank 0 record a Trace for the perfmodel package.
 	RecordTrace bool
@@ -138,6 +157,11 @@ func Train(c *mpi.Comm, pt *Partition, cfg Config) (*model.Model, *Stats, error)
 		return nil, nil, err
 	}
 	s := newRankState(c, pt, cfg)
+	if len(cfg.InitialAlpha) > 0 {
+		if err := s.warmStart(); err != nil {
+			return nil, nil, err
+		}
+	}
 	if err := s.solve(); err != nil {
 		return nil, nil, err
 	}
@@ -401,6 +425,14 @@ func (s *rankState) solve() error {
 				s.trace.ShrinkChecks++
 			}
 		}
+
+		// The condition depends only on cfg and the lockstep iteration
+		// counter, so every rank enters the collective snapshot together.
+		if s.cfg.Checkpoint != nil && s.cfg.CheckpointEvery > 0 && s.iter%s.cfg.CheckpointEvery == 0 {
+			if err := s.saveCheckpoint(); err != nil {
+				return err
+			}
+		}
 	}
 }
 
@@ -529,7 +561,6 @@ func (s *rankState) buildSVBlock() (*svBlock, error) {
 // then re-admit all samples.
 func (s *rankState) reconstruct() error {
 	s.reconstructions++
-	p, rank := s.pt.P, s.c.Rank()
 
 	// Targets: local samples whose gradient is stale.
 	var targets []int
@@ -556,6 +587,30 @@ func (s *rankState) reconstruct() error {
 		return err
 	}
 
+	if err := s.ringPass(block, targets); err != nil {
+		return err
+	}
+
+	// Re-admit every sample (the re-introduced samples participate in the
+	// next beta reduction, Algorithm 3 lines 7-12).
+	for i := range s.active {
+		s.active[i] = true
+	}
+	s.localActive = len(s.active)
+	s.globalActive = s.pt.N
+
+	if s.trace != nil {
+		s.trace.AddRecon(s.iter, totalShrunk, totalSVs)
+	}
+	return nil
+}
+
+// ringPass circulates every rank's SV block once around the ring
+// (Isend/Irecv/Waitall, as in the paper's Algorithm 3), accumulating each
+// block's contributions into the targets' gradients. Shared by gradient
+// reconstruction and checkpoint warm start.
+func (s *rankState) ringPass(block *svBlock, targets []int) error {
+	p, rank := s.pt.P, s.c.Rank()
 	cur := block
 	right := (rank + 1) % p
 	left := (rank - 1 + p) % p
@@ -578,19 +633,100 @@ func (s *rankState) reconstruct() error {
 		}
 		cur = next
 	}
-
-	// Re-admit every sample (the re-introduced samples participate in the
-	// next beta reduction, Algorithm 3 lines 7-12).
-	for i := range s.active {
-		s.active[i] = true
-	}
-	s.localActive = len(s.active)
-	s.globalActive = s.pt.N
-
-	if s.trace != nil {
-		s.trace.AddRecon(s.iter, totalShrunk, totalSVs)
-	}
 	return nil
+}
+
+// warmStart installs the partition's slice of Config.InitialAlpha and
+// rebuilds every local gradient with one ring pass, the same exchange
+// gradient reconstruction uses: gamma_i = -y_i + sum_j alpha_j*y_j*K_ij
+// over the global support set. Feasibility (box locally, the equality
+// constraint globally via Allreduce) is checked first so a corrupt or
+// foreign alpha vector fails loudly instead of poisoning the run.
+func (s *rankState) warmStart() error {
+	a := s.cfg.InitialAlpha
+	if len(a) != s.pt.N {
+		return fmt.Errorf("core: initial alpha holds %d entries for %d samples", len(a), s.pt.N)
+	}
+	c := s.cfg.C
+	var sum, mass float64
+	for i := 0; i < s.pt.Len(); i++ {
+		v := a[s.pt.Lo+i]
+		if math.IsNaN(v) || v < 0 || v > c*(1+1e-9) {
+			return fmt.Errorf("core: initial alpha[%d] = %v outside [0, %v]", s.pt.Lo+i, v, c)
+		}
+		s.alpha[i] = math.Min(v, c)
+		sum += s.alpha[i] * s.pt.Y[i]
+		mass += s.alpha[i]
+	}
+	gsum, err := mpi.Allreduce(s.c, sum, mpi.SumF64)
+	if err != nil {
+		return err
+	}
+	gmass, err := mpi.Allreduce(s.c, mass, mpi.SumF64)
+	if err != nil {
+		return err
+	}
+	if math.Abs(gsum) > 1e-6*(1+gmass) {
+		return fmt.Errorf("core: initial alpha violates sum alpha_i*y_i = 0 (residual %.3g)", gsum)
+	}
+
+	targets := make([]int, s.pt.Len())
+	for i := range targets {
+		targets[i] = i
+		s.gamma[i] = -s.pt.Y[i]
+	}
+	block, err := s.buildSVBlock()
+	if err != nil {
+		return err
+	}
+	return s.ringPass(block, targets)
+}
+
+// saveCheckpoint takes a coordinated snapshot: a barrier pins every rank at
+// the same iteration boundary, then alpha/gamma/active are gathered at rank
+// 0 in rank order — which, by the block partition, is exactly dataset row
+// order — and persisted as one crash-consistent generation.
+func (s *rankState) saveCheckpoint() error {
+	if err := mpi.Barrier(s.c); err != nil {
+		return err
+	}
+	// Copies, not views: the gathered slices are read on rank 0 while the
+	// owners keep mutating their originals next iteration.
+	alphas, err := mpi.Gather(s.c, append([]float64(nil), s.alpha...), 0)
+	if err != nil {
+		return err
+	}
+	gammas, err := mpi.Gather(s.c, append([]float64(nil), s.gamma...), 0)
+	if err != nil {
+		return err
+	}
+	actives, err := mpi.Gather(s.c, append([]bool(nil), s.active...), 0)
+	if err != nil {
+		return err
+	}
+	if s.c.Rank() != 0 {
+		return nil
+	}
+	st := &ckpt.State{
+		Solver:          ckpt.SolverCore,
+		Iteration:       s.iter,
+		Seed:            s.cfg.CheckpointSeed,
+		Fingerprint:     s.cfg.CheckpointFingerprint,
+		N:               s.pt.N,
+		Alpha:           make([]float64, 0, s.pt.N),
+		Gamma:           make([]float64, 0, s.pt.N),
+		Active:          make([]bool, 0, s.pt.N),
+		ShrinkCountdown: s.deltaC,
+		Phase:           int32(s.phase),
+		ShrinkEvents:    int32(s.shrinkEvents),
+		Reconstructions: int32(s.reconstructions),
+	}
+	for r := range alphas {
+		st.Alpha = append(st.Alpha, alphas[r]...)
+		st.Gamma = append(st.Gamma, gammas[r]...)
+		st.Active = append(st.Active, actives[r]...)
+	}
+	return s.cfg.Checkpoint.Save(st)
 }
 
 // applyBlock accumulates one ring block's contributions into the stale

@@ -25,9 +25,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/mpi"
 	"repro/internal/smo"
 	"repro/internal/sparse"
 )
@@ -91,6 +93,30 @@ type Config struct {
 	// step that restores true eps-optimality, at the cost of a solve over
 	// all n samples (still warm-started, so far cheaper than a cold solve).
 	PolishFull bool
+
+	// Checkpoint, when non-nil, persists divide-and-conquer progress as
+	// crash-consistent generations in full-problem coordinates: after each
+	// finished level-0 cluster solve, after each completed level, and —
+	// when the polish runs over the full training set — every
+	// CheckpointEvery polish iterations. Every snapshot's alpha vector is
+	// projected onto the dual constraints first, so any engine can resume
+	// from it. CheckpointSeed is recorded for provenance.
+	Checkpoint      *ckpt.Writer
+	CheckpointEvery int64
+	CheckpointSeed  int64
+
+	// ResumeAlpha restarts a previous run from a checkpoint's full-length
+	// alpha vector: the divide levels are skipped and the run goes
+	// straight to a full-problem polish warm-started from the (re-
+	// balanced) vector. The result is eps-optimal on the full QP, like a
+	// PolishFull run.
+	ResumeAlpha []float64
+
+	// SubFaults applies an mpi fault plan to the level-0 core sub-solve
+	// of cluster SubFaultCluster (crash-recovery testing). Ignored unless
+	// the plan injects something and SubSolver is "core".
+	SubFaults       mpi.FaultPlan
+	SubFaultCluster int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +173,66 @@ type Stats struct {
 	Total            time.Duration
 }
 
+// checkpointer accumulates divide-and-conquer progress into one full-length
+// alpha vector and persists it after every completed unit of work (cluster
+// solve, level, polish stride). Cluster goroutines share it, so merges are
+// serialized under a mutex. Snapshots always carry a constraint-feasible
+// alpha (balanceAlpha only scales down), so a checkpoint written mid-
+// hierarchy can warm-start any engine.
+type checkpointer struct {
+	mu      sync.Mutex
+	w       *ckpt.Writer
+	y       []float64
+	c       float64
+	seed    int64
+	fp      uint64
+	partial []float64
+	events  int64 // completed merges, stamped as the snapshot's Iteration
+}
+
+func newCheckpointer(w *ckpt.Writer, x *sparse.Matrix, y []float64, c float64, seed int64) *checkpointer {
+	return &checkpointer{
+		w: w, y: y, c: c, seed: seed,
+		fp:      ckpt.Fingerprint(x, y),
+		partial: make([]float64, x.Rows()),
+	}
+}
+
+// clusterDone merges one finished level-0 cluster's alphas (in original
+// dataset indices) and saves a generation.
+func (ck *checkpointer) clusterDone(orig []int, local []float64) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	for i, a := range local {
+		if a > 0 {
+			ck.partial[orig[i]] = a
+		}
+	}
+	ck.events++
+	return ck.saveLocked()
+}
+
+// levelDone replaces the accumulated vector with a completed level's
+// coalesced solution scattered back onto full coordinates.
+func (ck *checkpointer) levelDone(full []float64) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	copy(ck.partial, full)
+	ck.events++
+	return ck.saveLocked()
+}
+
+func (ck *checkpointer) saveLocked() error {
+	return ck.w.Save(&ckpt.State{
+		Solver:      ckpt.SolverDCSVM,
+		Iteration:   ck.events,
+		Seed:        ck.seed,
+		Fingerprint: ck.fp,
+		N:           len(ck.partial),
+		Alpha:       balanceAlpha(ck.partial, ck.y, ck.c),
+	})
+}
+
 // Train runs divide-and-conquer training on (x, y) with labels in {+1,-1}
 // and returns the final model plus per-level statistics.
 func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, error) {
@@ -187,39 +273,61 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, err
 	}
 	cfg = cfg.withDefaults()
 
+	if cfg.ResumeAlpha != nil && len(cfg.ResumeAlpha) != n {
+		return nil, nil, fmt.Errorf("dcsvm: resume alpha holds %d entries for %d samples", len(cfg.ResumeAlpha), n)
+	}
+
 	start := time.Now()
 	st := &Stats{}
+	var ck *checkpointer
+	if cfg.Checkpoint != nil {
+		ck = newCheckpointer(cfg.Checkpoint, x, y, cfg.C, cfg.CheckpointSeed)
+	}
 	curX, curY := x, y
 	var curA []float64 // nil = cold (level 0 input is the raw data)
 
-	for l := 0; l < cfg.Levels && curX.Rows() >= 2; l++ {
-		k := cfg.Clusters >> l
-		if k < 2 {
-			k = 2
+	if cfg.ResumeAlpha == nil {
+		for l := 0; l < cfg.Levels && curX.Rows() >= 2; l++ {
+			k := cfg.Clusters >> l
+			if k < 2 {
+				k = 2
+			}
+			nx, ny, na, ls, err := runLevel(curX, curY, curA, k, l, cfg, ck)
+			if err != nil {
+				return nil, nil, err
+			}
+			st.Levels = append(st.Levels, *ls)
+			st.KernelEvals += ls.KernelEvals
+			if nx == nil || nx.Rows() == 0 {
+				// Degenerate partition (every cluster pure or tiny): no
+				// sub-solution to build on; the polish below falls back to a
+				// cold solve of the current level's input.
+				curA = nil
+				break
+			}
+			curX, curY, curA = nx, ny, na
+			if ck != nil {
+				// Level boundary: scatter the coalesced union solution back
+				// onto full-problem coordinates and persist it.
+				full, err := scatterAlpha(x, y, curX, curY, warmStartAlpha(curA, curY, cfg.C))
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := ck.levelDone(full); err != nil {
+					return nil, nil, err
+				}
+			}
 		}
-		nx, ny, na, ls, err := runLevel(curX, curY, curA, k, l, cfg)
-		if err != nil {
-			return nil, nil, err
+		if curA != nil {
+			st.CoalescedSVs = curX.Rows()
 		}
-		st.Levels = append(st.Levels, *ls)
-		st.KernelEvals += ls.KernelEvals
-		if nx == nil || nx.Rows() == 0 {
-			// Degenerate partition (every cluster pure or tiny): no
-			// sub-solution to build on; the polish below falls back to a
-			// cold solve of the current level's input.
-			curA = nil
-			break
-		}
-		curX, curY, curA = nx, ny, na
-	}
-	if curA != nil {
-		st.CoalescedSVs = curX.Rows()
 	}
 
 	// Polish: a warm-started exact solve over the support-vector union —
-	// or, with PolishFull, over the full training set with the union's
-	// alphas scattered back onto their original rows. (On the degenerate
-	// fallback the polish is a cold solve of the current level's input.)
+	// or, with PolishFull (and always on resume), over the full training
+	// set with the union's alphas scattered back onto their original rows.
+	// (On the degenerate fallback the polish is a cold solve of the
+	// current level's input.)
 	t0 := time.Now()
 	sc := smo.Config{
 		Kernel: cfg.Kernel, C: cfg.C, Eps: cfg.Eps,
@@ -227,11 +335,15 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, err
 		MaxIter: cfg.PolishMaxIter,
 	}
 	polishX, polishY := curX, curY
-	if curA != nil {
-		sc.InitialAlpha = warmStartAlpha(curA, curY, cfg.C)
-	}
-	if cfg.PolishFull {
+	switch {
+	case cfg.ResumeAlpha != nil:
+		// Re-balance rather than trust the file: balanceAlpha only scales
+		// down, so any loaded vector becomes a feasible warm start.
+		sc.InitialAlpha = balanceAlpha(cfg.ResumeAlpha, y, cfg.C)
+		polishX, polishY = x, y
+	case cfg.PolishFull:
 		if curA != nil {
+			sc.InitialAlpha = warmStartAlpha(curA, curY, cfg.C)
 			full, err := scatterAlpha(x, y, curX, curY, sc.InitialAlpha)
 			if err != nil {
 				return nil, nil, err
@@ -239,6 +351,19 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, err
 			sc.InitialAlpha = full
 		}
 		polishX, polishY = x, y
+	case curA != nil:
+		sc.InitialAlpha = warmStartAlpha(curA, curY, cfg.C)
+	}
+	if ck != nil && polishX.Rows() == n {
+		// The polish runs in full-problem coordinates, so smo's periodic
+		// checkpoints are directly resumable; union-sized polish snapshots
+		// would carry the wrong N and fingerprint, so those stay with the
+		// level-boundary generations instead.
+		sc.Checkpoint = cfg.Checkpoint
+		sc.CheckpointEvery = cfg.CheckpointEvery
+		sc.CheckpointSeed = cfg.CheckpointSeed
+		sc.CheckpointLabel = ckpt.SolverDCSVM
+		sc.CheckpointFingerprint = ck.fp
 	}
 	res, err := smo.Train(polishX, polishY, sc)
 	if err != nil {
@@ -258,7 +383,7 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, err
 // runLevel partitions the current problem into k clusters, solves each in
 // its own goroutine, and returns the coalesced support-vector union
 // (rows, labels, alphas) forming the next level's warm-started problem.
-func runLevel(x *sparse.Matrix, y, alpha []float64, k, level int, cfg Config) (*sparse.Matrix, []float64, []float64, *LevelStats, error) {
+func runLevel(x *sparse.Matrix, y, alpha []float64, k, level int, cfg Config, ck *checkpointer) (*sparse.Matrix, []float64, []float64, *LevelStats, error) {
 	ls := &LevelStats{Level: level + 1}
 	t0 := time.Now()
 	cl, err := clusterRows(x, k, cfg.Seed+int64(level), cfg.KernelSpace, cfg.Kernel)
@@ -315,7 +440,27 @@ func runLevel(x *sparse.Matrix, y, alpha []float64, k, level int, cfg Config) (*
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[c] = solveCluster(px, py, pa, lo, hi, level, cfg)
+			results[c] = solveCluster(px, py, pa, c, lo, hi, level, cfg)
+			r := &results[c]
+			if ck == nil || level > 0 || r.err != nil || r.model == nil {
+				return
+			}
+			// Level-0 progress checkpoint: the permutation maps cluster row
+			// i back to original dataset row order[lo+i], so this cluster's
+			// alphas merge directly into full-problem coordinates.
+			view, err := px.RowRangeView(lo, hi)
+			if err != nil {
+				r.err = err
+				return
+			}
+			sx, sy, sa := r.model.SVTrainingSet()
+			local, err := scatterAlpha(view, py[lo:hi], sx, sy, sa)
+			if err == nil {
+				err = ck.clusterDone(order[lo:hi], local)
+			}
+			if err != nil {
+				r.err = fmt.Errorf("checkpoint: %w", err)
+			}
 		}(c, lo, hi)
 	}
 	wg.Wait()
@@ -357,7 +502,7 @@ func runLevel(x *sparse.Matrix, y, alpha []float64, k, level int, cfg Config) (*
 }
 
 // solveCluster trains one cluster's rows [lo, hi) of the permuted problem.
-func solveCluster(px *sparse.Matrix, py, pa []float64, lo, hi, level int, cfg Config) (r struct {
+func solveCluster(px *sparse.Matrix, py, pa []float64, cluster, lo, hi, level int, cfg Config) (r struct {
 	model *model.Model
 	iters int64
 	svs   int
@@ -412,10 +557,16 @@ func solveCluster(px *sparse.Matrix, py, pa []float64, lo, hi, level int, cfg Co
 		if p > size {
 			p = size
 		}
-		m, cst, err := core.TrainParallel(view, yv, p, core.Config{
+		var opts mpi.Options
+		if cfg.SubFaults.Enabled() && cluster == cfg.SubFaultCluster {
+			// Crash-recovery testing: inject the fault plan into exactly one
+			// cluster's distributed sub-solve.
+			opts.Faults = cfg.SubFaults
+		}
+		m, cst, _, err := core.TrainParallelOpts(view, yv, p, core.Config{
 			Kernel: cfg.Kernel, C: cfg.C, Eps: cfg.Eps,
 			Heuristic: cfg.Heuristic, MaxIter: cfg.SubMaxIter,
-		})
+		}, opts)
 		if err != nil {
 			r.err = err
 			return r

@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"sync"
 )
@@ -12,6 +13,7 @@ type world struct {
 	size  int
 	boxes []*mailbox
 	net   NetModel
+	plan  FaultPlan
 
 	abortOnce sync.Once
 
@@ -36,12 +38,23 @@ func newWorld(size int, net NetModel) *world {
 	return w
 }
 
-func (w *world) abort() {
+func (w *world) abort() { w.abortWith(ErrAborted) }
+
+// abortWith terminates the world once, propagating err to every blocked and
+// future receive on every rank. The first abort wins.
+func (w *world) abortWith(err error) {
 	w.abortOnce.Do(func() {
 		for _, b := range w.boxes {
-			b.abort()
+			b.abort(err)
 		}
 	})
+}
+
+// kill marks rank as failed: all other ranks' pending and future blocked
+// operations return a *RankFailedError naming it, so survivors error out
+// cleanly instead of deadlocking in Recv.
+func (w *world) kill(rank int) {
+	w.abortWith(&RankFailedError{Rank: rank})
 }
 
 func (w *world) checkFault(rank int) error {
@@ -123,8 +136,16 @@ func (c *Comm) send(dst, tag int, data any) error {
 	if err := c.w.checkFault(c.rank); err != nil {
 		return err
 	}
+	if err := c.checkCrash(); err != nil {
+		return err
+	}
 	n := PayloadBytes(data)
 	c.clock += c.w.net.Cost(n)
+	if p := &c.w.plan; p.DelayEveryN > 0 && c.sends%p.DelayEveryN == p.DelayEveryN-1 {
+		// Message-delay injection: every DelayEveryN-th send is slowed by
+		// Delay virtual seconds, modeling a congested or degraded link.
+		c.clock += p.Delay
+	}
 	c.sends++
 	c.sentBytes += int64(n)
 	c.w.boxes[dst].put(message{src: c.rank, tag: tag, data: data, bytes: n, arrival: c.clock})
@@ -143,6 +164,9 @@ func (c *Comm) Recv(src, tag int) (any, Status, error) {
 }
 
 func (c *Comm) recv(src, tag int) (any, Status, error) {
+	if err := c.checkCrash(); err != nil {
+		return nil, Status{}, err
+	}
 	m, err := c.w.boxes[c.rank].get(src, tag)
 	if err != nil {
 		return nil, Status{}, err
@@ -236,12 +260,71 @@ func (c *Comm) sendrecv(dst, sendTag int, data any, src, recvTag int) (any, Stat
 // ErrAborted. Run still waits for all rank functions to return.
 func (c *Comm) Abort() { c.w.abort() }
 
+// checkCrash enforces the fault plan on the rank's point-to-point paths
+// (collectives are built on them, so they are covered too). When the
+// crashing rank reaches its scheduled operation it kills the world — every
+// other rank's blocked and future operations return *RankFailedError — and
+// dies with ErrInjectedCrash. Ops are counted per rank as sends + completed
+// receives, making the crash point deterministic for a deterministic
+// program.
+func (c *Comm) checkCrash() error {
+	p := &c.w.plan
+	if p.CrashAtOp <= 0 || c.rank != p.CrashRank {
+		return nil
+	}
+	if int64(c.sends+c.recvs) >= p.CrashAtOp {
+		c.w.kill(c.rank)
+		return fmt.Errorf("%w: rank %d at op %d", ErrInjectedCrash, c.rank, c.sends+c.recvs)
+	}
+	return nil
+}
+
+// FaultPlan is a deterministic fault-injection schedule for one Run. The
+// zero value injects nothing.
+type FaultPlan struct {
+	// CrashRank dies when its cumulative point-to-point operation count
+	// (sends + receives) reaches CrashAtOp. CrashAtOp <= 0 disables the
+	// crash. The kill aborts the world so surviving ranks observe a
+	// *RankFailedError instead of deadlocking.
+	CrashRank int
+	CrashAtOp int64
+
+	// Every DelayEveryN-th send on each rank is charged an extra Delay
+	// virtual seconds (message-delay injection). DelayEveryN <= 0
+	// disables it.
+	DelayEveryN int
+	Delay       float64
+}
+
+// Enabled reports whether the plan injects any fault.
+func (p FaultPlan) Enabled() bool {
+	return p.CrashAtOp > 0 || p.DelayEveryN > 0
+}
+
+// SeededCrash derives a deterministic crash plan from a seed: a uniform
+// victim rank in [0, p) and a crash operation in [1, horizon]. The same
+// (seed, p, horizon) always yields the same plan, so an injected failure is
+// exactly reproducible — the property the crash-recovery CI job relies on.
+func SeededCrash(seed int64, p int, horizon int64) FaultPlan {
+	if p <= 0 || horizon <= 0 {
+		return FaultPlan{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return FaultPlan{
+		CrashRank: rng.Intn(p),
+		CrashAtOp: 1 + rng.Int63n(horizon),
+	}
+}
+
 // Options configures a Run invocation.
 type Options struct {
 	Net NetModel
 	// SendFaults maps rank -> number of successful sends before that
 	// rank's sends begin to fail. Used by failure-injection tests.
 	SendFaults map[int]int
+	// Faults is the deterministic fault-injection plan (rank crash,
+	// message delay) applied to this run.
+	Faults FaultPlan
 }
 
 // Run executes fn on p ranks, each in its own goroutine, and returns the
@@ -260,6 +343,10 @@ func RunTimed(p int, opts Options, fn func(*Comm) error) ([]float64, error) {
 		return nil, fmt.Errorf("mpi: world size must be positive, got %d", p)
 	}
 	w := newWorld(p, opts.Net)
+	w.plan = opts.Faults
+	if w.plan.CrashAtOp > 0 && (w.plan.CrashRank < 0 || w.plan.CrashRank >= p) {
+		return nil, fmt.Errorf("mpi: fault plan crash rank %d out of range [0,%d)", w.plan.CrashRank, p)
+	}
 	for r, f := range opts.SendFaults {
 		w.sendFaults[r] = f
 	}

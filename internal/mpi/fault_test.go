@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestKilledRankUnblocksReceivers is the regression test for the mailbox
+// deadlock: before abort propagation carried the failure, a rank blocked in
+// Recv on a dead peer hung forever. Now every survivor must unblock with a
+// *RankFailedError naming the dead rank.
+func TestKilledRankUnblocksReceivers(t *testing.T) {
+	const p = 4
+	const victim = 2
+	rankErrs := make([]error, p)
+	_, err := RunTimed(p, Options{Faults: FaultPlan{CrashRank: victim, CrashAtOp: 1}}, func(c *Comm) error {
+		if c.Rank() == victim {
+			// First op completes (op count below CrashAtOp), the next one
+			// dies at the op boundary.
+			if err := c.Send(0, 1, 1.0); err != nil {
+				rankErrs[c.Rank()] = err
+				return err
+			}
+			_, _, err := c.Recv(0, 99)
+			rankErrs[c.Rank()] = err
+			return err
+		}
+		// Survivors block on a message nobody ever sends.
+		_, _, err := c.Recv(AnySource, 7)
+		rankErrs[c.Rank()] = err
+		return err
+	})
+	if err == nil {
+		t.Fatal("run with an injected crash reported success")
+	}
+	if !errors.Is(rankErrs[victim], ErrInjectedCrash) {
+		t.Fatalf("victim error = %v, want ErrInjectedCrash", rankErrs[victim])
+	}
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		var rf *RankFailedError
+		if !errors.As(rankErrs[r], &rf) {
+			t.Fatalf("rank %d error = %v, want *RankFailedError", r, rankErrs[r])
+		}
+		if rf.Rank != victim {
+			t.Fatalf("rank %d blames rank %d, want %d", r, rf.Rank, victim)
+		}
+		if !errors.Is(rankErrs[r], ErrAborted) {
+			t.Fatalf("rank %d error %v does not unwrap to ErrAborted", r, rankErrs[r])
+		}
+	}
+}
+
+// TestKilledRankUnblocksWaitall covers the nonblocking path: pending Irecv
+// requests completed through Waitall must also observe the failure.
+func TestKilledRankUnblocksWaitall(t *testing.T) {
+	const p = 3
+	const victim = 0
+	rankErrs := make([]error, p)
+	_, err := RunTimed(p, Options{Faults: FaultPlan{CrashRank: victim, CrashAtOp: 1}}, func(c *Comm) error {
+		if c.Rank() == victim {
+			if err := c.Send(1, 1, 1.0); err != nil {
+				rankErrs[c.Rank()] = err
+				return err
+			}
+			_, _, err := c.Recv(1, 99)
+			rankErrs[c.Rank()] = err
+			return err
+		}
+		// Two pending receives that can never be satisfied, resolved via
+		// Waitall as in the solver's ring exchange.
+		r1 := c.Irecv(AnySource, 8)
+		r2 := c.Irecv(AnySource, 9)
+		err := Waitall(r1, r2)
+		rankErrs[c.Rank()] = err
+		return err
+	})
+	if err == nil {
+		t.Fatal("run with an injected crash reported success")
+	}
+	for r := 1; r < p; r++ {
+		var rf *RankFailedError
+		if !errors.As(rankErrs[r], &rf) || rf.Rank != victim {
+			t.Fatalf("rank %d Waitall error = %v, want *RankFailedError{Rank: %d}", r, rankErrs[r], victim)
+		}
+	}
+}
+
+// TestKilledRankUnblocksCollectives checks that a crash inside a collective
+// (which is built on the same point-to-point paths) propagates too.
+func TestKilledRankUnblocksCollectives(t *testing.T) {
+	const p = 4
+	rankErrs := make([]error, p)
+	_, err := RunTimed(p, Options{Faults: FaultPlan{CrashRank: 3, CrashAtOp: 2}}, func(c *Comm) error {
+		for i := 0; i < 100; i++ {
+			if _, err := Allreduce(c, float64(c.Rank()), SumF64); err != nil {
+				rankErrs[c.Rank()] = err
+				return err
+			}
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("collective loop with an injected crash reported success")
+	}
+	if !errors.Is(rankErrs[3], ErrInjectedCrash) {
+		t.Fatalf("victim error = %v, want ErrInjectedCrash", rankErrs[3])
+	}
+	for r := 0; r < 3; r++ {
+		if rankErrs[r] == nil {
+			t.Fatalf("rank %d finished 100 allreduces despite a dead peer", r)
+		}
+		if !errors.Is(rankErrs[r], ErrAborted) {
+			t.Fatalf("rank %d error %v does not unwrap to ErrAborted", r, rankErrs[r])
+		}
+	}
+}
+
+func TestSeededCrashDeterministic(t *testing.T) {
+	a := SeededCrash(42, 8, 1000)
+	b := SeededCrash(42, 8, 1000)
+	if a != b {
+		t.Fatalf("same seed produced different plans: %+v vs %+v", a, b)
+	}
+	if a.CrashRank < 0 || a.CrashRank >= 8 {
+		t.Fatalf("crash rank %d out of range [0,8)", a.CrashRank)
+	}
+	if a.CrashAtOp < 1 || a.CrashAtOp > 1000 {
+		t.Fatalf("crash op %d out of range [1,1000]", a.CrashAtOp)
+	}
+	if c := SeededCrash(43, 8, 1000); c == a {
+		t.Fatalf("seeds 42 and 43 produced the identical plan %+v", a)
+	}
+	if z := (SeededCrash(42, 0, 1000)); z.Enabled() {
+		t.Fatalf("degenerate world size produced an enabled plan %+v", z)
+	}
+}
+
+// TestDelayInjectionSlowsClock verifies message-delay injection charges
+// virtual time without changing results: a delayed ping-pong computes the
+// same values but its makespan grows by the injected delays.
+func TestDelayInjectionSlowsClock(t *testing.T) {
+	pingPong := func(opts Options) ([]float64, error) {
+		return RunTimed(2, opts, func(c *Comm) error {
+			for i := 0; i < 10; i++ {
+				if c.Rank() == 0 {
+					if err := c.Send(1, 1, float64(i)); err != nil {
+						return err
+					}
+					if _, _, err := c.Recv(1, 2); err != nil {
+						return err
+					}
+				} else {
+					v, _, err := RecvAs[float64](c, 0, 1)
+					if err != nil {
+						return err
+					}
+					if v != float64(i) {
+						return errors.New("payload mismatch under delay injection")
+					}
+					if err := c.Send(0, 2, v); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+	base, err := pingPong(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := pingPong(Options{Faults: FaultPlan{DelayEveryN: 2, Delay: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each rank sends 10 messages; every 2nd is delayed 0.5s: 5 hits/rank.
+	if got := MaxTime(delayed) - MaxTime(base); got < 2.5 {
+		t.Fatalf("delay injection added %.2fs of virtual time, want >= 2.5s", got)
+	}
+}
+
+func TestFaultPlanBadRankRejected(t *testing.T) {
+	_, err := RunTimed(2, Options{Faults: FaultPlan{CrashRank: 5, CrashAtOp: 1}}, func(c *Comm) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-range crash rank accepted")
+	}
+}

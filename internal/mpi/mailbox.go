@@ -17,10 +17,10 @@ type message struct {
 // (source, tag) pair are delivered in send order (MPI's non-overtaking
 // rule) because the queue is scanned front to back.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []message
-	aborted bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []message
+	abortErr error // non-nil once the world aborted; returned by get
 }
 
 func newMailbox() *mailbox {
@@ -62,8 +62,8 @@ func (b *mailbox) get(src, tag int) (message, error) {
 				return m, nil
 			}
 		}
-		if b.aborted {
-			return message{}, ErrAborted
+		if b.abortErr != nil {
+			return message{}, b.abortErr
 		}
 		b.cond.Wait()
 	}
@@ -103,10 +103,11 @@ func (b *mailbox) pending() int {
 	return len(b.queue)
 }
 
-// abort unblocks all current and future receivers with ErrAborted.
-func (b *mailbox) abort() {
+// abort unblocks all current and future receivers with err (typically
+// ErrAborted, or a *RankFailedError naming the dead peer).
+func (b *mailbox) abort(err error) {
 	b.mu.Lock()
-	b.aborted = true
+	b.abortErr = err
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }

@@ -48,6 +48,25 @@ const maxUserTag = 1 << 30
 // ErrAborted is returned by blocked operations when another rank fails.
 var ErrAborted = errors.New("mpi: world aborted")
 
+// ErrInjectedCrash marks an operation that failed because the fault plan
+// crashed this rank (FaultPlan.CrashRank at FaultPlan.CrashAtOp).
+var ErrInjectedCrash = errors.New("mpi: injected crash")
+
+// RankFailedError is the error surviving ranks observe when a peer dies:
+// every blocked or future Recv/Waitall/collective on every other rank
+// returns it instead of deadlocking. It unwraps to ErrAborted so existing
+// errors.Is(err, ErrAborted) checks keep working.
+type RankFailedError struct {
+	Rank int // the rank that failed
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed, world aborted", e.Rank)
+}
+
+// Unwrap lets errors.Is(err, ErrAborted) match a rank failure.
+func (e *RankFailedError) Unwrap() error { return ErrAborted }
+
 // Status describes a received message.
 type Status struct {
 	Source int

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/ckpt"
 	"repro/internal/kernel"
 	"repro/internal/model"
 	"repro/internal/solver"
@@ -66,6 +67,20 @@ type Config struct {
 	RecordTrace bool
 	// DatasetName labels the trace.
 	DatasetName string
+
+	// Checkpoint, when non-nil, persists a crash-consistent snapshot of
+	// the solver state (alpha, gradients, active set, shrink countdown)
+	// every CheckpointEvery iterations. A killed run re-enters through
+	// InitialAlpha with the loaded snapshot's alphas. CheckpointSeed is
+	// recorded for provenance; CheckpointLabel overrides the solver kind
+	// stamped into snapshots (the divide-and-conquer trainer labels its
+	// polish checkpoints "dcsvm"); CheckpointFingerprint overrides the
+	// dataset hash (computed from (x, y) when zero).
+	Checkpoint            *ckpt.Writer
+	CheckpointEvery       int64
+	CheckpointSeed        int64
+	CheckpointLabel       string
+	CheckpointFingerprint uint64
 }
 
 func (c *Config) withDefaults(n int) Config {
@@ -92,6 +107,7 @@ type Result struct {
 	KernelEvals     uint64
 	CacheHits       uint64
 	CacheMisses     uint64
+	CacheEvictions  uint64
 	Reconstructions int
 	ShrinkEvents    int
 	Converged       bool
@@ -136,6 +152,9 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 	}
 
 	s := newState(x, y, cfg.withDefaults(n))
+	if s.cfg.Checkpoint != nil && s.cfg.CheckpointFingerprint == 0 {
+		s.cfg.CheckpointFingerprint = ckpt.Fingerprint(x, y)
+	}
 	if cfg.InitialAlpha != nil {
 		s.warmStart(cfg.InitialAlpha)
 	}
@@ -394,7 +413,37 @@ func (s *state) run() error {
 				shrinkCountdown = s.cfg.ShrinkEvery
 			}
 		}
+
+		if s.cfg.Checkpoint != nil && s.cfg.CheckpointEvery > 0 && s.iter%s.cfg.CheckpointEvery == 0 {
+			if err := s.saveCheckpoint(int64(shrinkCountdown)); err != nil {
+				return err
+			}
+		}
 	}
+}
+
+// saveCheckpoint persists the full solver state as one crash-consistent
+// generation. Alpha is the load-bearing field (resume re-enters through the
+// InitialAlpha warm start); gradients, active set and shrink bookkeeping
+// make the snapshot self-contained for diagnostics.
+func (s *state) saveCheckpoint(shrinkCountdown int64) error {
+	label := s.cfg.CheckpointLabel
+	if label == "" {
+		label = ckpt.SolverSMO
+	}
+	return s.cfg.Checkpoint.Save(&ckpt.State{
+		Solver:          label,
+		Iteration:       s.iter,
+		Seed:            s.cfg.CheckpointSeed,
+		Fingerprint:     s.cfg.CheckpointFingerprint,
+		N:               len(s.alpha),
+		Alpha:           append([]float64(nil), s.alpha...),
+		Gamma:           append([]float64(nil), s.gamma...),
+		Active:          append([]bool(nil), s.active...),
+		ShrinkCountdown: shrinkCountdown,
+		ShrinkEvents:    int32(s.shrinkEvents),
+		Reconstructions: int32(s.reconstructions),
+	})
 }
 
 // updateGradients applies Eq. 2 to every active sample, splitting the range
@@ -536,7 +585,7 @@ func (s *state) result() *Result {
 	for _, w := range s.workers {
 		evals += w.Evals()
 	}
-	hits, misses, _ := s.rows.Stats()
+	hits, misses, evictions := s.rows.Stats()
 	if s.trace != nil {
 		s.trace.Iterations = s.iter
 		s.trace.Converged = s.converged
@@ -556,6 +605,7 @@ func (s *state) result() *Result {
 		KernelEvals:     evals,
 		CacheHits:       hits,
 		CacheMisses:     misses,
+		CacheEvictions:  evictions,
 		Reconstructions: s.reconstructions,
 		ShrinkEvents:    s.shrinkEvents,
 		Converged:       s.converged,
