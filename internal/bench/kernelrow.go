@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/kernel"
+)
+
+// RunKernelRow measures the kernel row engine against the pairwise path on
+// a sparse and a dense synthetic dataset: ns per kernel evaluation for
+//
+//   - pairwise: a Cross loop (two-pointer merge per target, the pre-engine
+//     hot path of every solver);
+//   - row: one batched RowInto (pivot scattered into a dense scratch once,
+//     each target an indexed gather);
+//   - 2x row: the up/low pair as two separate row batches;
+//   - fused pair: PairRowsInto (both pivots scattered, each target's CSR
+//     payload traversed once for both values — the per-iteration shape of
+//     the SMO gradient pass).
+//
+// The speedup columns are pairwise/row and 2x-row/fused.
+func RunKernelRow(o Options) (*Report, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	rep := &Report{
+		ID:    "kernelrow",
+		Title: "Kernel row engine: pairwise vs dense-scratch vs fused pair",
+		Header: []string{"dataset", "n", "avg nnz", "pairwise ns/eval", "row ns/eval",
+			"2x row ns/eval", "fused ns/eval", "row speedup", "fused speedup"},
+	}
+	for _, name := range []string{"realsim", "url", "higgs"} {
+		ds, _, err := loadDataset(o, name)
+		if err != nil {
+			return nil, err
+		}
+		ev := kernel.NewEvaluator(kernel.FromSigma2(ds.Sigma2), ds.X)
+		tm := measureKernelRow(ev, 40*time.Millisecond)
+		rep.Rows = append(rep.Rows, []string{
+			ds.Name, itoa(ds.Train()), f1(ds.X.AvgRowNNZ()),
+			f1(tm.pairwise), f1(tm.row), f1(tm.row2), f1(tm.pair),
+			f2(tm.pairwise / tm.row), f2(tm.row2 / tm.pair),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"row speedup = pairwise / row; fused speedup = 2x row / fused pair",
+		"pivots strided deterministically; every dataset row is a target, as in a gradient pass over a full active set")
+	rep.Took = time.Since(start)
+	return rep, nil
+}
+
+// kernelRowTiming holds ns-per-evaluation for the four variants.
+type kernelRowTiming struct {
+	pairwise, row, row2, pair float64
+}
+
+// measureKernelRow times each variant for roughly budget, striding pivot
+// rows deterministically so short and long rows are sampled alike.
+func measureKernelRow(ev *kernel.Evaluator, budget time.Duration) kernelRowTiming {
+	n := ev.X.Rows()
+	targets := make([]int, n)
+	for i := range targets {
+		targets[i] = i
+	}
+	dstU := make([]float64, n)
+	dstL := make([]float64, n)
+	var scr kernel.Scratch
+	pivot := func(k int) int { return (k * 2654435761) % n }
+
+	timeIt := func(pass func(k int) uint64) float64 {
+		var evals uint64
+		k := 0
+		start := time.Now()
+		for time.Since(start) < budget {
+			evals += pass(k)
+			k++
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(evals)
+	}
+
+	var tm kernelRowTiming
+	tm.pairwise = timeIt(func(k int) uint64 {
+		i := pivot(k)
+		row, norm := ev.X.RowView(i), ev.Norm(i)
+		for t, j := range targets {
+			dstU[t] = ev.Cross(j, row, norm)
+		}
+		return uint64(n)
+	})
+	tm.row = timeIt(func(k int) uint64 {
+		i := pivot(k)
+		ev.RowInto(&scr, ev.X.RowView(i), ev.Norm(i), targets, dstU)
+		return uint64(n)
+	})
+	tm.row2 = timeIt(func(k int) uint64 {
+		i, j := pivot(k), pivot(k+1)
+		ev.RowInto(&scr, ev.X.RowView(i), ev.Norm(i), targets, dstU)
+		ev.RowInto(&scr, ev.X.RowView(j), ev.Norm(j), targets, dstL)
+		return uint64(2 * n)
+	})
+	tm.pair = timeIt(func(k int) uint64 {
+		i, j := pivot(k), pivot(k+1)
+		ev.PairRowsInto(&scr, ev.X.RowView(i), ev.X.RowView(j), ev.Norm(i), ev.Norm(j), targets, dstU, dstL)
+		return uint64(2 * n)
+	})
+	return tm
+}

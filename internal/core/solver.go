@@ -207,13 +207,18 @@ type rankState struct {
 	localActive  int
 	globalActive int
 
-	ev *kernel.Evaluator // local block evaluator
+	ev      *kernel.Evaluator // local block evaluator
+	scratch kernel.Scratch    // dense pivot scratch for the batched row engine
 
-	// second-order selection state: local kernel diagonal and a per-
-	// iteration scratch row of K(x_up, x_i) values shared between
-	// selection and the gradient pass.
-	diag []float64
-	kui  []float64
+	// per-iteration row-batch state: the active local indices (rebuilt
+	// each iteration) and the K(x_up, x_i)/K(x_low, x_i) rows over them,
+	// shared between selection and the gradient pass. diag holds the local
+	// kernel diagonal for second-order selection.
+	diag      []float64
+	activeIdx []int
+	kuiBuf    []float64
+	kliBuf    []float64
+	blockBuf  []float64 // reconstruction scratch, one entry per stale target
 
 	iter            int64
 	converged       bool
@@ -249,12 +254,12 @@ func newRankState(c *mpi.Comm, pt *Partition, cfg Config) *rankState {
 	}
 	s.delta = cfg.Heuristic.InitialThreshold(pt.N)
 	s.deltaC = s.delta
+	s.activeIdx = make([]int, 0, n)
+	s.kuiBuf = make([]float64, n)
+	s.kliBuf = make([]float64, n)
 	if cfg.SecondOrder {
 		s.diag = make([]float64, n)
-		for i := range s.diag {
-			s.diag[i] = s.ev.At(i, i)
-		}
-		s.kui = make([]float64, n)
+		s.ev.DiagInto(s.diag)
 	}
 	if cfg.RecordTrace && c.Rank() == 0 {
 		s.trace = trace.New(cfg.DatasetName, cfg.Heuristic.Name, pt.N, 0, cfg.Eps)
@@ -353,6 +358,7 @@ func (s *rankState) solve() error {
 			return nil
 		}
 		s.iter++
+		actives := s.collectActive()
 
 		var pair exchangedPair
 		pair.up, err = s.routeHalf(up.Loc, tagPairUp)
@@ -361,7 +367,7 @@ func (s *rankState) solve() error {
 		}
 		lowIdx := low.Loc
 		if s.cfg.SecondOrder {
-			if j, err := s.selectSecondOrder(pair.up, up.Val); err != nil {
+			if j, err := s.selectSecondOrder(actives, pair.up, up.Val); err != nil {
 				return err
 			} else if j >= 0 {
 				lowIdx = j
@@ -388,7 +394,7 @@ func (s *rankState) solve() error {
 				shrinkNow = true
 			}
 		}
-		s.gradientPass(st, up, low, pair, shrinkNow)
+		s.gradientPass(st, up, low, pair, actives, shrinkNow)
 
 		if s.cfg.Lambda > 0 {
 			s.c.Compute(s.cfg.Lambda * float64(3+2*s.localActive))
@@ -442,20 +448,33 @@ type exchangedPair struct {
 	up, low pairHalf
 }
 
+// collectActive refreshes s.activeIdx with the local active indices in
+// ascending order — the target list every row batch of this iteration
+// shares (selection, gradient pass). The slice is only valid until the
+// next call.
+func (s *rankState) collectActive() []int {
+	s.activeIdx = s.activeIdx[:0]
+	for i, a := range s.active {
+		if a {
+			s.activeIdx = append(s.activeIdx, i)
+		}
+	}
+	return s.activeIdx
+}
+
 // selectSecondOrder picks the partner of i_up by maximal analytic gain
 // among local low-side violators, then combines globally with a MAXLOC
-// Allreduce. It fills s.kui with K(x_up, x_i) for every local active
-// sample as a side effect; the gradient pass reuses those values, so the
-// second-order rule costs no extra kernel evaluations.
-func (s *rankState) selectSecondOrder(up pairHalf, gammaUp float64) (int, error) {
+// Allreduce. It fills s.kuiBuf with K(x_up, x_i) over actives as a side
+// effect — one batched row evaluation — and the gradient pass reuses
+// those values, so the second-order rule costs no extra kernel
+// evaluations.
+func (s *rankState) selectSecondOrder(actives []int, up pairHalf, gammaUp float64) (int, error) {
 	kUU := s.cfg.Kernel.Eval(up.Row, up.Row, up.Norm, up.Norm)
 	s.manualEvals++
+	kui := s.kuiBuf[:len(actives)]
+	s.ev.RowInto(&s.scratch, up.Row, up.Norm, actives, kui)
 	best := mpi.ValLoc{Val: math.Inf(-1), Loc: -1}
-	for i := range s.alpha {
-		if !s.active[i] {
-			continue
-		}
-		s.kui[i] = s.ev.Cross(i, up.Row, up.Norm)
+	for k, i := range actives {
 		if !solver.InLow(s.pt.Y[i], s.alpha[i], s.cfg.C) {
 			continue
 		}
@@ -463,7 +482,7 @@ func (s *rankState) selectSecondOrder(up pairHalf, gammaUp float64) (int, error)
 		if b <= 0 {
 			continue
 		}
-		eta := kUU + s.diag[i] - 2*s.kui[i]
+		eta := kUU + s.diag[i] - 2*kui[k]
 		if eta <= solver.Tau {
 			eta = solver.Tau
 		}
@@ -504,20 +523,23 @@ func (s *rankState) routeHalf(g, tag int) (pairHalf, error) {
 // gradientPass applies the Eq. 2 gradient update to every local active
 // sample, installs the new alphas on the owners of the selected pair, and
 // optionally applies the Eq. 9 shrink condition (Algorithm 4 lines 12-24).
-func (s *rankState) gradientPass(st solver.Step, up, low mpi.ValLoc, pair exchangedPair, shrinkNow bool) {
+// The K(x_up, .) and K(x_low, .) rows over actives come from the batched
+// row engine: one fused pair batch in first-order mode (each active row's
+// CSR payload read once for both pivots), or — in second-order mode,
+// where selection already filled kuiBuf — one more row batch for the low
+// pivot.
+func (s *rankState) gradientPass(st solver.Step, up, low mpi.ValLoc, pair exchangedPair, actives []int, shrinkNow bool) {
 	c := s.cfg.C
-	for i := range s.alpha {
-		if !s.active[i] {
-			continue
-		}
-		var kui float64
-		if s.cfg.SecondOrder {
-			kui = s.kui[i] // computed during selection
-		} else {
-			kui = s.ev.Cross(i, pair.up.Row, pair.up.Norm)
-		}
-		kli := s.ev.Cross(i, pair.low.Row, pair.low.Norm)
-		s.gamma[i] += solver.GradientDelta(st.T, kui, kli)
+	kui := s.kuiBuf[:len(actives)]
+	kli := s.kliBuf[:len(actives)]
+	if s.cfg.SecondOrder {
+		// kui was computed during selection.
+		s.ev.RowInto(&s.scratch, pair.low.Row, pair.low.Norm, actives, kli)
+	} else {
+		s.ev.PairRowsInto(&s.scratch, pair.up.Row, pair.low.Row, pair.up.Norm, pair.low.Norm, actives, kui, kli)
+	}
+	for k, i := range actives {
+		s.gamma[i] += solver.GradientDelta(st.T, kui[k], kli[k])
 		g := s.pt.Global(i)
 		if g == up.Loc {
 			s.alpha[i] = st.NewAlphaUp
@@ -730,14 +752,21 @@ func (s *rankState) saveCheckpoint() error {
 }
 
 // applyBlock accumulates one ring block's contributions into the stale
-// gradients: gamma_i += alpha_j*y_j*Phi(x_j, x_i).
+// gradients: gamma_i += alpha_j*y_j*Phi(x_j, x_i). Each SV row of the
+// block is one batched row evaluation over the targets.
 func (s *rankState) applyBlock(b *svBlock, targets []int) {
+	if len(targets) == 0 {
+		return
+	}
+	if len(s.blockBuf) < len(targets) {
+		s.blockBuf = make([]float64, len(targets))
+	}
+	buf := s.blockBuf[:len(targets)]
 	for j := 0; j < b.X.Rows(); j++ {
-		row := b.X.RowView(j)
 		coef := b.Coef[j]
-		norm := b.Norms[j]
-		for _, i := range targets {
-			s.gamma[i] += coef * s.ev.Cross(i, row, norm)
+		s.ev.RowInto(&s.scratch, b.X.RowView(j), b.Norms[j], targets, buf)
+		for k, i := range targets {
+			s.gamma[i] += coef * buf[k]
 		}
 	}
 }

@@ -214,13 +214,17 @@ func kernelKMeans(x *sparse.Matrix, k int, rng *rand.Rand, kp kernel.Params) (*C
 		return nil, err
 	}
 	ev := kernel.NewEvaluator(kp, sx)
+	var scr kernel.Scratch
 	kmat := make([][]float64, m)
 	for i := range kmat {
 		kmat[i] = make([]float64, m)
-		for j := 0; j <= i; j++ {
-			v := ev.At(i, j)
-			kmat[i][j] = v
-			kmat[j][i] = v
+	}
+	// Fill the lower triangle one batched kernel row at a time (row i against
+	// columns [0, i]), then mirror.
+	for i := 0; i < m; i++ {
+		ev.RowRangeInto(&scr, sx.RowView(i), ev.Norm(i), 0, i+1, kmat[i][:i+1])
+		for j := 0; j < i; j++ {
+			kmat[j][i] = kmat[i][j]
 		}
 	}
 
@@ -334,9 +338,8 @@ func kernelKMeans(x *sparse.Matrix, k int, rng *rand.Rand, kp kernel.Params) (*C
 	for i := 0; i < n; i++ {
 		row := x.RowView(i)
 		selfK := kp.Eval(row, row, norms[i], norms[i])
-		for j := 0; j < m; j++ {
-			cross[j] = ev.Cross(j, row, norms[i])
-		}
+		// One batched row evaluation of x_i against the whole sample.
+		ev.RowRangeInto(&scr, row, norms[i], 0, m, cross)
 		best, bestD := 0, math.Inf(1)
 		for c := 0; c < k; c++ {
 			if len(mem[c]) == 0 {

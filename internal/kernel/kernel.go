@@ -114,7 +114,14 @@ func (p Params) String() string {
 // Eval computes Phi(a, b) for two sparse rows given their squared norms.
 // For non-Gaussian kernels the norms are ignored.
 func (p Params) Eval(a, b sparse.Row, normA, normB float64) float64 {
-	dot := sparse.DotRows(a, b)
+	return p.finishDot(sparse.DotRows(a, b), normA, normB)
+}
+
+// finishDot maps a raw inner product <a, b> (plus the squared norms, used
+// only by the Gaussian kernel) to the kernel value. It is the single place
+// a dot product becomes Phi(a, b), shared by the pairwise Eval and the
+// batched row engine so both paths are numerically identical.
+func (p Params) finishDot(dot, normA, normB float64) float64 {
 	switch p.Type {
 	case Gaussian:
 		d2 := normA + normB - 2*dot
@@ -125,12 +132,27 @@ func (p Params) Eval(a, b sparse.Row, normA, normB float64) float64 {
 	case Linear:
 		return dot
 	case Polynomial:
-		return math.Pow(p.Gamma*dot+p.Coef0, float64(p.Degree))
+		return powi(p.Gamma*dot+p.Coef0, p.Degree)
 	case Sigmoid:
 		return math.Tanh(p.Gamma*dot + p.Coef0)
 	default:
 		panic(fmt.Sprintf("kernel: Eval on unknown type %d", int(p.Type)))
 	}
+}
+
+// powi is exact integer exponentiation by squaring (libsvm's powi): cheaper
+// than math.Pow in the hot path and bit-deterministic across platforms,
+// with the correct sign for negative bases at odd/even degrees. Degrees
+// below 1 (rejected by Validate) return 1, matching base^0.
+func powi(base float64, degree int) float64 {
+	r := 1.0
+	for t := base; degree > 0; degree >>= 1 {
+		if degree&1 == 1 {
+			r *= t
+		}
+		t *= t
+	}
+	return r
 }
 
 // Evaluator binds kernel parameters to a matrix, precomputing squared norms
@@ -147,6 +169,22 @@ func NewEvaluator(p Params, x *sparse.Matrix) *Evaluator {
 	e := &Evaluator{Params: p, X: x}
 	if p.Type == Gaussian {
 		e.norms = x.SquaredNorms()
+	}
+	return e
+}
+
+// NewEvaluatorWithNorms is NewEvaluator for callers that already hold the
+// squared norms of x (e.g. a model's warmed support-vector norm cache), so
+// binding an evaluator costs nothing. Norms are only retained for the
+// Gaussian kernel, matching NewEvaluator's behaviour.
+func NewEvaluatorWithNorms(p Params, x *sparse.Matrix, norms []float64) *Evaluator {
+	e := &Evaluator{Params: p, X: x}
+	if p.Type == Gaussian {
+		if len(norms) == x.Rows() {
+			e.norms = norms
+		} else {
+			e.norms = x.SquaredNorms()
+		}
 	}
 	return e
 }

@@ -59,7 +59,9 @@ func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64)
 		workers = max
 	}
 	if workers <= 1 {
-		m.decisionRange(x, 0, n, out)
+		st := m.acquirePredict()
+		m.decisionRange(st, x, 0, n, out)
+		m.predictPool.Put(st)
 		return
 	}
 	var next atomic.Int64
@@ -68,6 +70,8 @@ func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			st := m.acquirePredict()
+			defer m.predictPool.Put(st)
 			for {
 				lo := int(next.Add(batchChunk)) - batchChunk
 				if lo >= n {
@@ -77,7 +81,7 @@ func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64)
 				if hi > n {
 					hi = n
 				}
-				m.decisionRange(x, lo, hi, out)
+				m.decisionRange(st, x, lo, hi, out)
 			}
 		}()
 	}
@@ -85,10 +89,17 @@ func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64)
 }
 
 // decisionRange scores rows [lo, hi) of x into out — the single hot loop
-// every batch path funnels through. Requires warmed norms when called from
-// multiple goroutines.
-func (m *Model) decisionRange(x *sparse.Matrix, lo, hi int, out []float64) {
+// every batch path funnels through, one batched kernel row per sample.
+// Requires warmed norms when called from multiple goroutines (WarmNorms
+// ran above, so worker states never race on lazy initialization).
+func (m *Model) decisionRange(st *predictState, x *sparse.Matrix, lo, hi int, out []float64) {
+	if m.NumSV() == 0 {
+		for i := lo; i < hi; i++ {
+			out[i] = -m.Beta
+		}
+		return
+	}
 	for i := lo; i < hi; i++ {
-		out[i] = m.DecisionValue(x.RowView(i))
+		out[i] = m.decisionWith(st, x.RowView(i))
 	}
 }

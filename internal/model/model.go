@@ -11,6 +11,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/sparse"
@@ -37,7 +38,32 @@ type Model struct {
 	ProbA, ProbB float64
 	HasProb      bool
 
-	svNormsCache []float64 // lazily computed support-vector squared norms
+	svNormsCache []float64         // lazily computed support-vector squared norms
+	svEval       *kernel.Evaluator // lazily built evaluator over the SV matrix
+	predictPool  sync.Pool         // *predictState, per-call row-engine state
+}
+
+// predictState is the per-call state of the batched decision function: a
+// sub-evaluator (independent eval counter over the shared SV matrix), a
+// dense pivot scratch, and the kernel-row buffer K(x, sv_i). States are
+// recycled through Model.predictPool so concurrent predictions never share
+// mutable state yet allocate only on pool misses.
+type predictState struct {
+	ev  *kernel.Evaluator
+	scr kernel.Scratch
+	buf []float64
+}
+
+// acquirePredict returns a predictState for one decision-function call;
+// release it with m.predictPool.Put. Follows the svNorm concurrency
+// contract: lazy initialization is single-goroutine, WarmNorms makes
+// subsequent concurrent calls safe.
+func (m *Model) acquirePredict() *predictState {
+	ev := m.svEvaluator()
+	if st, _ := m.predictPool.Get().(*predictState); st != nil {
+		return st
+	}
+	return &predictState{ev: ev.SubEvaluator(), buf: make([]float64, m.NumSV())}
 }
 
 // NumSV returns the number of support vectors.
@@ -86,35 +112,52 @@ func (m *Model) Validate() error {
 }
 
 // DecisionValue returns the decision function sum_i coef_i*Phi(sv_i, x) - beta
-// for one sample row.
+// for one sample row, evaluated through the batched row engine: x is
+// scattered into a dense scratch once and the whole kernel row over the
+// support vectors is gathered in one pass.
 func (m *Model) DecisionValue(x sparse.Row) float64 {
-	normX := kernel.SquaredNormOf(x)
+	if m.NumSV() == 0 {
+		return -m.Beta
+	}
+	st := m.acquirePredict()
+	f := m.decisionWith(st, x)
+	m.predictPool.Put(st)
+	return f
+}
+
+// decisionWith scores one row using borrowed per-call state.
+func (m *Model) decisionWith(st *predictState, x sparse.Row) float64 {
+	st.ev.RowRangeInto(&st.scr, x, kernel.SquaredNormOf(x), 0, len(m.Coef), st.buf)
 	var s float64
-	for i := 0; i < m.SV.Rows(); i++ {
-		var normSV float64
-		if m.Kernel.Type == kernel.Gaussian {
-			normSV = m.svNorm(i)
-		}
-		s += m.Coef[i] * m.Kernel.Eval(m.SV.RowView(i), x, normSV, normX)
+	for i, c := range m.Coef {
+		s += c * st.buf[i]
 	}
 	return s - m.Beta
 }
 
-// svNorm returns the squared norm of support vector i, computing the cache
-// on first use. Prediction is single-goroutine per model; callers that
-// predict concurrently should call WarmNorms first.
-func (m *Model) svNorm(i int) float64 {
+// svEvaluator returns the kernel evaluator bound to the support-vector
+// matrix, building it (and the norm cache) on first use. Lazy
+// initialization is single-goroutine, like svNormsCache always was;
+// callers that predict concurrently call WarmNorms first.
+func (m *Model) svEvaluator() *kernel.Evaluator {
+	if m.svEval == nil {
+		m.WarmNorms()
+	}
+	return m.svEval
+}
+
+// WarmNorms precomputes the support-vector norm cache and the evaluator
+// behind the batched decision function, so that subsequent DecisionValue
+// calls are safe to issue from multiple goroutines.
+func (m *Model) WarmNorms() {
+	if m.SV == nil {
+		return
+	}
 	if m.svNormsCache == nil {
 		m.svNormsCache = m.SV.SquaredNorms()
 	}
-	return m.svNormsCache[i]
-}
-
-// WarmNorms precomputes the support-vector norm cache so that subsequent
-// DecisionValue calls are safe to issue from multiple goroutines.
-func (m *Model) WarmNorms() {
-	if m.svNormsCache == nil && m.SV != nil {
-		m.svNormsCache = m.SV.SquaredNorms()
+	if m.svEval == nil {
+		m.svEval = kernel.NewEvaluatorWithNorms(m.Kernel, m.SV, m.svNormsCache)
 	}
 }
 

@@ -293,7 +293,10 @@ func (p Problem) VerifyModel(m *model.Model) (*Report, error) {
 }
 
 // gradients recomputes gamma_i = sum_{j in svs} alpha_j y_j K(j, i) - y_i
-// for every sample, splitting the targets across the worker pool.
+// for every sample, splitting the targets across the worker pool. Each
+// support vector contributes one batched row evaluation over the worker's
+// contiguous target range (the dense-scratch row engine), so the CSR
+// payload of the targets streams in storage order.
 func (p Problem) gradients(alpha []float64, svs []int) []float64 {
 	n := p.X.Rows()
 	gamma := make([]float64, n)
@@ -303,12 +306,17 @@ func (p Problem) gradients(alpha []float64, svs []int) []float64 {
 		w = n
 	}
 	chunk := func(ev *kernel.Evaluator, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var g float64
-			for _, j := range svs {
-				g += alpha[j] * p.Y[j] * ev.At(j, i)
+		var scr kernel.Scratch
+		buf := make([]float64, hi-lo)
+		for _, j := range svs {
+			ev.RowRangeInto(&scr, p.X.RowView(j), ev.Norm(j), lo, hi, buf)
+			c := alpha[j] * p.Y[j]
+			for k, v := range buf {
+				gamma[lo+k] += c * v
 			}
-			gamma[i] = g - p.Y[i]
+		}
+		for i := lo; i < hi; i++ {
+			gamma[i] -= p.Y[i]
 		}
 	}
 	if w <= 1 {

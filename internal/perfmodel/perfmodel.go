@@ -54,9 +54,13 @@ func RowBytes(avgNNZ float64) float64 { return 12*avgNNZ + 16 }
 
 // Calibrate measures lambda for a dataset on the current host and returns
 // the Cascade-interconnect machine for it. budget bounds measurement time.
+// Lambda is measured through the batched dense-scratch row path — the path
+// every solver hot loop executes — so projections track the real
+// per-evaluation cost; Evaluator.Lambda remains available for the legacy
+// pairwise estimate (the kernelrow ablation).
 func Calibrate(params kernel.Params, x *sparse.Matrix, budget time.Duration) Machine {
 	ev := kernel.NewEvaluator(params, x)
-	return Cascade(ev.Lambda(budget), x.AvgRowNNZ())
+	return Cascade(ev.LambdaBatched(budget), x.AvgRowNNZ())
 }
 
 // log2Ceil returns ceil(log2 p) for p >= 1.

@@ -177,10 +177,15 @@ type state struct {
 	active  []bool
 	nActive int
 
-	ev      *kernel.Evaluator
-	workers []*kernel.Evaluator
-	rows    *cache.RowCache
-	diag    []float64 // K(i,i), precomputed for second-order selection
+	ev   *kernel.Evaluator
+	pool *kernel.RowPool // batched row engine, one (SubEvaluator, Scratch) per worker
+	rows *cache.RowCache
+	diag []float64 // K(i,i), precomputed for second-order selection
+
+	// batched cache-fill buffers: the missing-entry indices of a kernel row
+	// and their freshly computed values (fillActive).
+	idxBuf []int
+	valBuf []float64
 
 	iter            int64
 	shrinkEvents    int
@@ -209,18 +214,15 @@ func newState(x *sparse.Matrix, y []float64, cfg Config) *state {
 		s.gamma[i] = -y[i] // Algorithm 1 line 1: gamma_i <- -y_i, alpha_i <- 0
 		s.active[i] = true
 	}
-	s.workers = make([]*kernel.Evaluator, cfg.Workers)
-	for w := range s.workers {
-		s.workers[w] = s.ev.SubEvaluator()
-	}
+	s.pool = kernel.NewRowPool(s.ev, cfg.Workers)
+	s.idxBuf = make([]int, 0, n)
+	s.valBuf = make([]float64, n)
 	if cfg.RecordTrace {
 		s.trace = trace.New(cfg.DatasetName, "libsvm-enhanced", n, x.AvgRowNNZ(), cfg.Eps)
 	}
 	if cfg.SecondOrder {
 		s.diag = make([]float64, n)
-		for i := range s.diag {
-			s.diag[i] = s.ev.At(i, i)
-		}
+		s.ev.DiagInto(s.diag)
 	}
 	return s
 }
@@ -268,25 +270,7 @@ func (s *state) warmStart(alpha0 []float64) {
 	for i := range targets {
 		targets[i] = i
 	}
-	w := s.cfg.Workers
-	if w > len(targets) {
-		w = len(targets)
-	}
-	if w <= 1 {
-		s.reconstructChunk(s.ev, svs, targets)
-		return
-	}
-	done := make(chan struct{}, w)
-	for k := 0; k < w; k++ {
-		lo, hi := k*len(targets)/w, (k+1)*len(targets)/w
-		go func(ev *kernel.Evaluator, part []int) {
-			s.reconstructChunk(ev, svs, part)
-			done <- struct{}{}
-		}(s.workers[k], targets[lo:hi])
-	}
-	for k := 0; k < w; k++ {
-		<-done
-	}
+	s.rebuildGradients(svs, targets)
 }
 
 // selectPair scans the active set for the worst KKT violators (Eq. 3).
@@ -356,6 +340,8 @@ func (s *state) getRow(u int) []float64 {
 }
 
 // kernelAt returns K(u, i) via the row, computing and memoizing on miss.
+// After fillActive every active entry is present, so this only computes
+// for an index outside the batch (a guarded fallback, not a loop).
 func kernelAt(ev *kernel.Evaluator, row []float64, u, i int) float64 {
 	if v := row[i]; !math.IsNaN(v) {
 		return v
@@ -363,6 +349,31 @@ func kernelAt(ev *kernel.Evaluator, row []float64, u, i int) float64 {
 	v := ev.At(u, i)
 	row[i] = v
 	return v
+}
+
+// fillActive completes row u over the whole active set in one batched row
+// evaluation: every NaN sentinel at an active index is computed together
+// through the row pool and memoized, replacing the element-at-a-time fill
+// the gradient loop used to do on each cache miss. Costs exactly as many
+// kernel evaluations as sentinels filled — a fresh row costs one full
+// batch, a row cached under a smaller active set only the entries that
+// grew back.
+func (s *state) fillActive(u int, row []float64) {
+	idx := s.idxBuf[:0]
+	for i, a := range s.active {
+		if a && math.IsNaN(row[i]) {
+			idx = append(idx, i)
+		}
+	}
+	s.idxBuf = idx
+	if len(idx) == 0 {
+		return
+	}
+	vals := s.valBuf[:len(idx)]
+	s.pool.RowInto(s.x.RowView(u), s.ev.Norm(u), idx, vals)
+	for k, i := range idx {
+		row[i] = vals[k]
+	}
 }
 
 func (s *state) run() error {
@@ -389,12 +400,14 @@ func (s *state) run() error {
 
 		u, l := s.iUp, s.iLow
 		rowU := s.getRow(u)
+		s.fillActive(u, rowU)
 		if s.cfg.SecondOrder {
 			if j := s.selectSecondOrder(u, rowU); j >= 0 {
 				l = j
 			}
 		}
 		rowL := s.getRow(l)
+		s.fillActive(l, rowL)
 		kUU := kernelAt(s.ev, rowU, u, u)
 		kLL := kernelAt(s.ev, rowL, l, l)
 		kUL := kernelAt(s.ev, rowU, u, l)
@@ -447,8 +460,9 @@ func (s *state) saveCheckpoint(shrinkCountdown int64) error {
 }
 
 // updateGradients applies Eq. 2 to every active sample, splitting the range
-// across the worker pool. Workers own disjoint chunks, so lazy row fills do
-// not race.
+// across the worker pool. fillActive already computed both rows over the
+// active set, so the chunks are pure arithmetic — the kernel evaluations
+// all happened in the batched row fills.
 func (s *state) updateGradients(t float64, u, l int, rowU, rowL []float64) {
 	n := len(s.gamma)
 	w := s.cfg.Workers
@@ -456,30 +470,28 @@ func (s *state) updateGradients(t float64, u, l int, rowU, rowL []float64) {
 		w = n
 	}
 	if w <= 1 {
-		s.gradientChunk(s.ev, t, u, l, rowU, rowL, 0, n)
+		s.gradientChunk(t, rowU, rowL, 0, n)
 		return
 	}
 	done := make(chan struct{}, w)
 	for k := 0; k < w; k++ {
 		lo, hi := k*n/w, (k+1)*n/w
-		go func(ev *kernel.Evaluator, lo, hi int) {
-			s.gradientChunk(ev, t, u, l, rowU, rowL, lo, hi)
+		go func(lo, hi int) {
+			s.gradientChunk(t, rowU, rowL, lo, hi)
 			done <- struct{}{}
-		}(s.workers[k], lo, hi)
+		}(lo, hi)
 	}
 	for k := 0; k < w; k++ {
 		<-done
 	}
 }
 
-func (s *state) gradientChunk(ev *kernel.Evaluator, t float64, u, l int, rowU, rowL []float64, lo, hi int) {
+func (s *state) gradientChunk(t float64, rowU, rowL []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		if !s.active[i] {
 			continue
 		}
-		kui := kernelAt(ev, rowU, u, i)
-		kli := kernelAt(ev, rowL, l, i)
-		s.gamma[i] += solver.GradientDelta(t, kui, kli)
+		s.gamma[i] += solver.GradientDelta(t, rowU[i], rowL[i])
 	}
 }
 
@@ -520,32 +532,51 @@ func (s *state) reconstruct() {
 	if s.trace != nil {
 		s.trace.AddRecon(s.iter, len(targets), len(svs))
 	}
-	w := s.cfg.Workers
+	s.rebuildGradients(svs, targets)
+}
+
+// rebuildGradients recomputes gamma_i = sum_j alpha_j y_j K(x_i, x_j) - y_i
+// for the targets from the support set, fanning target chunks across the
+// row pool. Each target is one batched row evaluation against the support
+// vectors (pivot = x_i scattered once, the SV rows gathered against it),
+// shared by warm start and gradient reconstruction.
+func (s *state) rebuildGradients(svs, targets []int) {
+	if len(svs) == 0 || len(targets) == 0 {
+		return
+	}
+	coef := make([]float64, len(svs))
+	for k, j := range svs {
+		coef[k] = s.alpha[j] * s.y[j]
+	}
+	w := s.pool.Workers()
 	if w > len(targets) {
 		w = len(targets)
 	}
 	if w <= 1 {
-		s.reconstructChunk(s.ev, svs, targets)
+		ev, scr := s.pool.Worker(0)
+		s.reconstructChunk(ev, scr, make([]float64, len(svs)), svs, coef, targets)
 		return
 	}
 	done := make(chan struct{}, w)
 	for k := 0; k < w; k++ {
 		lo, hi := k*len(targets)/w, (k+1)*len(targets)/w
-		go func(ev *kernel.Evaluator, part []int) {
-			s.reconstructChunk(ev, svs, part)
+		ev, scr := s.pool.Worker(k)
+		go func(ev *kernel.Evaluator, scr *kernel.Scratch, part []int) {
+			s.reconstructChunk(ev, scr, make([]float64, len(svs)), svs, coef, part)
 			done <- struct{}{}
-		}(s.workers[k], targets[lo:hi])
+		}(ev, scr, targets[lo:hi])
 	}
 	for k := 0; k < w; k++ {
 		<-done
 	}
 }
 
-func (s *state) reconstructChunk(ev *kernel.Evaluator, svs, targets []int) {
+func (s *state) reconstructChunk(ev *kernel.Evaluator, scr *kernel.Scratch, buf []float64, svs []int, coef []float64, targets []int) {
 	for _, i := range targets {
+		ev.RowInto(scr, s.x.RowView(i), ev.Norm(i), svs, buf)
 		var g float64
-		for _, j := range svs {
-			g += s.alpha[j] * s.y[j] * ev.At(j, i)
+		for k := range svs {
+			g += coef[k] * buf[k]
 		}
 		s.gamma[i] = g - s.y[i]
 	}
@@ -581,10 +612,7 @@ func (s *state) result() *Result {
 	for k, i := range svIdx {
 		coef[k] = s.alpha[i] * s.y[i]
 	}
-	evals := s.ev.Evals()
-	for _, w := range s.workers {
-		evals += w.Evals()
-	}
+	evals := s.ev.Evals() + s.pool.Evals()
 	hits, misses, evictions := s.rows.Stats()
 	if s.trace != nil {
 		s.trace.Iterations = s.iter

@@ -122,6 +122,48 @@ func DotDense(r Row, dense []float64) float64 {
 	return s
 }
 
+// GatherDense is DotDense with the per-entry bounds branch hoisted out:
+// column indices within a row are strictly increasing, so one comparison
+// against the row's last (largest) index decides whether the whole gather
+// is in range. The kernel row engine sizes its dense scratch to cover the
+// pivot row, which makes the fast path the common case; rows reaching past
+// the scratch fall back to the per-entry check (their out-of-range entries
+// pair with implicit zeros of the pivot, so the result matches DotRows).
+func GatherDense(r Row, dense []float64) float64 {
+	n := len(r.Idx)
+	if n == 0 {
+		return 0
+	}
+	if int(r.Idx[n-1]) >= len(dense) {
+		return DotDense(r, dense)
+	}
+	var s float64
+	for k, c := range r.Idx {
+		s += r.Val[k] * dense[c]
+	}
+	return s
+}
+
+// GatherDense2 accumulates one CSR row against two dense vectors in a single
+// traversal, so the row's indices and values are read once instead of twice.
+// Both vectors must have the same length; the same hoisted bounds check as
+// GatherDense applies.
+func GatherDense2(r Row, a, b []float64) (sa, sb float64) {
+	n := len(r.Idx)
+	if n == 0 {
+		return 0, 0
+	}
+	if int(r.Idx[n-1]) >= len(a) || len(b) < len(a) {
+		return DotDense(r, a), DotDense(r, b)
+	}
+	for k, c := range r.Idx {
+		v := r.Val[k]
+		sa += v * a[c]
+		sb += v * b[c]
+	}
+	return sa, sb
+}
+
 // AddScaledTo accumulates scale * r into the dense vector. Centroid
 // updates in k-means clustering are the primary user: the running mean of
 // a cluster's sparse rows lives in a dense accumulator.

@@ -379,3 +379,40 @@ func TestRowRangeView(t *testing.T) {
 		}
 	}
 }
+
+func TestGatherDenseMatchesDotDense(t *testing.T) {
+	rows := []Row{
+		{},                                     // empty row
+		{Idx: []int32{3}, Val: []float64{2.5}}, // single entry
+		{Idx: []int32{0, 2, 4}, Val: []float64{1, -2, 0.5}},    // in range
+		{Idx: []int32{1, 4, 9}, Val: []float64{3, 1.5, -0.25}}, // reaches past dense
+	}
+	dense := []float64{1, -1, 2, 0.5, -3}
+	other := []float64{0.5, 2, -1, 4, 1}
+	for i, r := range rows {
+		want := DotDense(r, dense)
+		if got := GatherDense(r, dense); got != want {
+			t.Fatalf("row %d: GatherDense = %v, DotDense = %v", i, got, want)
+		}
+		wa, wb := DotDense(r, dense), DotDense(r, other)
+		ga, gb := GatherDense2(r, dense, other)
+		if ga != wa || gb != wb {
+			t.Fatalf("row %d: GatherDense2 = (%v,%v), want (%v,%v)", i, ga, gb, wa, wb)
+		}
+	}
+}
+
+// The gather over a dense scatter of row b must reproduce the two-pointer
+// merge bit for bit — the identity the kernel row engine's exactness rests
+// on (non-shared indices contribute exact zeros).
+func TestGatherDenseMatchesDotRows(t *testing.T) {
+	a := Row{Idx: []int32{0, 3, 5, 8}, Val: []float64{0.1, -2.2, 3.3, 0.04}}
+	b := Row{Idx: []int32{1, 3, 8, 9}, Val: []float64{5, 7, -0.5, 2}}
+	dense := make([]float64, 10)
+	for k, c := range b.Idx {
+		dense[c] = b.Val[k]
+	}
+	if got, want := GatherDense(a, dense), DotRows(a, b); got != want {
+		t.Fatalf("GatherDense = %v, DotRows = %v", got, want)
+	}
+}
