@@ -10,16 +10,21 @@
 //	svmtrain -dataset mnist38 -dataset-scale 0.05 -model out.model -p 4
 //
 // The -solver flag selects the engine: "core" (the paper's algorithm,
-// default), "smo" (the libsvm-enhanced baseline), or "dc"
+// default), "smo" (the libsvm-enhanced baseline), "dc"
 // (divide-and-conquer: cluster, solve sub-problems in parallel, coalesce
-// support vectors, polish):
+// support vectors, polish), or "linear" (the explicit-w fast path for
+// linear kernels: dual coordinate descent or the incremental MISO primal
+// solver, no kernel matrix, dense-hyperplane model):
 //
 //	svmtrain -dataset blobs -dataset-scale 1 -solver dc -dc-clusters 8 -seed 42
+//	svmtrain -dataset rcv1 -dataset-scale 0.1 -solver linear -linear-variant dcd
 //
 // The -verify flag re-checks the trained model against the QP with the
 // correctness oracle (per-sample KKT violations and the duality gap) and
 // prints the report; the exit status is nonzero if the model is not an
-// eps-approximate optimum:
+// eps-approximate optimum. The linear solver is verified against its own
+// linear QP (hinge for dcd, squared hinge for miso) via the same oracle
+// package:
 //
 //	svmtrain -dataset blobs -dataset-scale 0.5 -verify
 //
@@ -46,6 +51,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dcsvm"
 	"repro/internal/kernel"
+	"repro/internal/linear"
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/oracle"
@@ -54,7 +60,7 @@ import (
 	"repro/internal/sparse"
 )
 
-var solverNames = []string{"core", "smo", "dc"}
+var solverNames = []string{"core", "smo", "dc", "linear"}
 
 func main() {
 	if err := run(); err != nil {
@@ -70,7 +76,7 @@ func run() error {
 		dsScale   = flag.Float64("dataset-scale", 0.01, "scale for -dataset generation")
 		modelPath = flag.String("model", "svm.model", "output model file")
 		tracePath = flag.String("trace", "", "optional output JSON trace (core solver only)")
-		solverSel = flag.String("solver", "core", `"core" (distributed, the paper), "smo" (libsvm-enhanced baseline), or "dc" (divide-and-conquer)`)
+		solverSel = flag.String("solver", "core", `"core" (distributed, the paper), "smo" (libsvm-enhanced baseline), "dc" (divide-and-conquer), or "linear" (explicit-w linear fast path)`)
 		p         = flag.Int("p", 4, "number of ranks (core solver)")
 		heuristic = flag.String("heuristic", "Multi5pc", "Table II heuristic name (core and dc solvers)")
 		c         = flag.Float64("c", 10, "box constraint C")
@@ -101,6 +107,10 @@ func run() error {
 		dcPolishFull  = flag.Bool("dc-polish-full", false, "polish over the full training set instead of the SV union; slower but eps-optimal on the full QP (required for -verify to pass)")
 		dcKernelSpace = flag.Bool("dc-kernel-space", false, "cluster in kernel feature space instead of input space")
 		dcSubSolver   = flag.String("dc-subsolver", "core", `dc sub-problem engine: "core" or "smo"`)
+
+		linVariant = flag.String("linear-variant", "dcd", `linear solver variant: "dcd" (dual coordinate descent, hinge) or "miso" (incremental primal, squared hinge)`)
+		linEpochs  = flag.Int("linear-epochs", 0, "linear solver epoch cap (0 = variant default)")
+		linNoShrnk = flag.Bool("linear-no-shrink", false, "disable active-set shrinking in the linear dcd variant")
 	)
 	flag.Parse()
 
@@ -115,6 +125,27 @@ func run() error {
 		if h, err = core.HeuristicByName(*heuristic); err != nil {
 			return err
 		}
+	}
+	var linVar linear.Variant
+	if *solverSel == "linear" {
+		var err error
+		if linVar, err = linear.ParseVariant(*linVariant); err != nil {
+			return err
+		}
+		// The linear fast path is the linear kernel by construction; an
+		// explicit non-linear -kernel is a contradiction, not a request.
+		if flagWasSet("kernel") && *kern != "linear" {
+			return fmt.Errorf("-solver linear trains a linear model; -kernel %s is incompatible", *kern)
+		}
+		*kern = "linear"
+		if *ckptDir != "" || *resume {
+			return fmt.Errorf("-solver linear does not support checkpointing (epochs are seconds, not hours); drop -checkpoint-dir/-resume")
+		}
+		if *crashRank >= 0 {
+			return fmt.Errorf("-solver linear runs in-process without mpi; -inject-crash-* does not apply")
+		}
+	} else if flagWasSet("linear-variant") || flagWasSet("linear-epochs") || flagWasSet("linear-no-shrink") {
+		return fmt.Errorf("-linear-* flags require -solver linear")
 	}
 
 	// An explicit -seed redraws built-in datasets from the same distribution
@@ -186,6 +217,7 @@ func run() error {
 	start := time.Now()
 	var m *model.Model
 	var summary string
+	var linRes *linear.Result
 	switch *solverSel {
 	case "core":
 		cfg := core.Config{
@@ -277,6 +309,20 @@ func run() error {
 		summary = fmt.Sprintf("levels=%d coalesced-SVs=%d sub-iterations=%d polish-iterations=%d polish-converged=%v SVs=%d (%.1f%% of samples)",
 			len(st.Levels), st.CoalescedSVs, subIters, st.PolishIterations,
 			st.PolishConverged, st.SVCount, 100*float64(st.SVCount)/float64(x.Rows()))
+	case "linear":
+		cfg := linear.Config{
+			Variant: linVar, C: *c, Eps: *eps,
+			MaxEpochs: *linEpochs, Seed: *seed,
+			DisableShrink: *linNoShrnk,
+		}
+		linRes, err = linear.Train(x, y, cfg)
+		if err != nil {
+			return err
+		}
+		m = linRes.Model
+		summary = fmt.Sprintf("variant=%s converged=%v epochs=%d updates=%d gap=%.3e nnz(w)=%d/%d",
+			linVar, linRes.Converged, linRes.Epochs, linRes.Updates, linRes.Gap,
+			linRes.NNZ(), len(linRes.W))
 	}
 
 	if err := m.Save(*modelPath); err != nil {
@@ -287,6 +333,22 @@ func run() error {
 		fmt.Printf("model written to %s\n", *modelPath)
 	}
 	if *verify {
+		if linRes != nil {
+			loss := oracle.HingeLoss
+			if linVar == linear.MISO {
+				loss = oracle.SquaredHingeLoss
+			}
+			prob := oracle.LinearProblem{X: x, Y: y, C: *c, Eps: *eps, Loss: loss}
+			rep, err := prob.VerifyLinearModel(m, linRes.Alpha)
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			fmt.Println(rep)
+			if err := rep.Check(); err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			return nil
+		}
 		prob := oracle.Problem{X: x, Y: y, Kernel: kp, C: *c, Eps: *eps}
 		rep, err := prob.VerifyModel(m)
 		if err != nil {

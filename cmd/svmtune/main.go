@@ -4,6 +4,12 @@
 //
 //	svmtune -data train.libsvm -folds 10
 //	svmtune -dataset a9a -dataset-scale 0.05 -folds 5 -c-grid 1,10,32 -sigma2-grid 4,25,64
+//
+// With -solver linear the grid collapses to C only: the linear fast path
+// has no kernel width, so sigma^2, heuristic and rank knobs are skipped
+// (and -sigma2-grid is rejected to keep the search honest):
+//
+//	svmtune -dataset rcv1 -dataset-scale 0.05 -solver linear -c-grid 0.5,1,4,10
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"repro/internal/cv"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
+	"repro/internal/linear"
 	"repro/internal/model"
 	"repro/internal/sparse"
 )
@@ -38,15 +45,35 @@ func run() error {
 		cGrid      = flag.String("c-grid", "", "comma-separated C values (default libsvm-style 2^-1..2^7)")
 		sigma2Grid = flag.String("sigma2-grid", "", "comma-separated sigma^2 values (default 2^-1..2^7)")
 		p          = flag.Int("p", 4, "ranks per training run")
-		heuristic  = flag.String("heuristic", "Multi5pc", "shrinking heuristic")
+		heuristic  = flag.String("heuristic", "Multi5pc", "shrinking heuristic (core solver)")
 		eps        = flag.Float64("eps", 1e-3, "tolerance epsilon")
+		solverSel  = flag.String("solver", "core", `engine per training run: "core" (kernel, tunes C and sigma^2) or "linear" (explicit-w fast path, tunes C only)`)
+		linVariant = flag.String("linear-variant", "dcd", `linear solver variant: "dcd" or "miso" (-solver linear only)`)
 	)
 	flag.Parse()
 
-	// Resolve the heuristic before loading data so a typo fails fast.
-	h, err := core.HeuristicByName(*heuristic)
-	if err != nil {
-		return err
+	// Resolve enum flags before loading data so a typo fails fast.
+	if *solverSel != "core" && *solverSel != "linear" {
+		return fmt.Errorf("unknown -solver %q (valid: core, linear)", *solverSel)
+	}
+	isLinear := *solverSel == "linear"
+	var linVar linear.Variant
+	var h core.Heuristic
+	var err error
+	if isLinear {
+		if linVar, err = linear.ParseVariant(*linVariant); err != nil {
+			return err
+		}
+		if *sigma2Grid != "" {
+			return fmt.Errorf("-solver linear has no kernel width; drop -sigma2-grid")
+		}
+	} else {
+		if flagWasSet("linear-variant") {
+			return fmt.Errorf("-linear-variant requires -solver linear")
+		}
+		if h, err = core.HeuristicByName(*heuristic); err != nil {
+			return err
+		}
 	}
 
 	var x *sparse.Matrix
@@ -80,12 +107,27 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("sigma2-grid: %w", err)
 	}
+	if isLinear {
+		// The linear fast path has a one-dimensional grid: C. A single
+		// placeholder sigma^2 keeps GridSearch's shape without multiplying
+		// the fold count by kernel widths that do not exist.
+		sigma2s = []float64{0}
+	}
 	splits, err := cv.StratifiedKFold(y, *folds, *seed)
 	if err != nil {
 		return err
 	}
 	trainAt := func(c, s2 float64) cv.TrainFunc {
 		return func(fx *sparse.Matrix, fy []float64) (*model.Model, error) {
+			if isLinear {
+				res, err := linear.Train(fx, fy, linear.Config{
+					Variant: linVar, C: c, Eps: *eps, Seed: *seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res.Model, nil
+			}
 			m, _, err := core.TrainParallel(fx, fy, *p, core.Config{
 				Kernel: kernel.FromSigma2(s2), C: c, Eps: *eps, Heuristic: h,
 			})
@@ -93,11 +135,29 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("grid search: %d C values x %d sigma^2 values, %d-fold CV on %d samples\n",
-		len(cs), len(sigma2s), *folds, x.Rows())
+	if isLinear {
+		fmt.Printf("grid search (-solver linear, variant %s): %d C values, %d-fold CV on %d samples\n",
+			linVar, len(cs), *folds, x.Rows())
+	} else {
+		fmt.Printf("grid search: %d C values x %d sigma^2 values, %d-fold CV on %d samples\n",
+			len(cs), len(sigma2s), *folds, x.Rows())
+	}
 	points, best, err := cv.GridSearch(x, y, cs, sigma2s, splits, trainAt)
 	if err != nil {
 		return err
+	}
+	if isLinear {
+		fmt.Printf("%10s %12s %10s\n", "C", "mean-acc(%)", "std")
+		for _, pt := range points {
+			marker := ""
+			if pt.C == best.C {
+				marker = "  <- best"
+			}
+			fmt.Printf("%10g %12.2f %10.2f%s\n", pt.C, pt.Result.Mean, pt.Result.Std, marker)
+		}
+		fmt.Printf("\nselected: -solver linear -c %g (CV accuracy %.2f%% +/- %.2f)\n",
+			best.C, best.Result.Mean, best.Result.Std)
+		return nil
 	}
 	fmt.Printf("%10s %10s %12s %10s\n", "C", "sigma^2", "mean-acc(%)", "std")
 	for _, pt := range points {
@@ -110,6 +170,16 @@ func run() error {
 	fmt.Printf("\nselected: -c %g -sigma2 %g (CV accuracy %.2f%% +/- %.2f)\n",
 		best.C, best.Sigma2, best.Result.Mean, best.Result.Std)
 	return nil
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func parseGrid(s string, def []float64) ([]float64, error) {

@@ -51,13 +51,23 @@ func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64)
 	if n == 0 {
 		return
 	}
-	m.WarmNorms()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if max := (n + batchChunk - 1) / batchChunk; workers > max {
 		workers = max
 	}
+	if m.IsLinear() {
+		// Dense-hyperplane fast path: one sparse-dense dot per row, no
+		// evaluator, no per-worker scratch — workers just split the rows.
+		fanRows(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = sparse.DotDense(x.RowView(i), m.W) - m.Beta
+			}
+		})
+		return
+	}
+	m.WarmNorms()
 	if workers <= 1 {
 		st := m.acquirePredict()
 		m.decisionRange(st, x, 0, n, out)
@@ -82,6 +92,36 @@ func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64)
 					hi = n
 				}
 				m.decisionRange(st, x, lo, hi, out)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fanRows splits [0, n) into batchChunk-sized chunks dynamically claimed by
+// workers goroutines; run must be safe for concurrent calls on disjoint
+// ranges.
+func fanRows(n, workers int, run func(lo, hi int)) {
+	if workers <= 1 {
+		run(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(batchChunk)) - batchChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + batchChunk
+				if hi > n {
+					hi = n
+				}
+				run(lo, hi)
 			}
 		}()
 	}

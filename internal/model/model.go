@@ -29,6 +29,14 @@ type Model struct {
 	// Beta is the hyperplane threshold (libsvm's rho).
 	Beta float64
 
+	// W, when non-empty, is an explicit dense hyperplane: the decision
+	// function is w'x - Beta, evaluated as a single sparse-dense dot with
+	// no kernel sweep. Linear-kernel trainers (internal/linear) produce
+	// such models directly; a model may also carry both W and a support
+	// vector set, in which case W takes precedence everywhere and the
+	// kernel path remains available for parity checks.
+	W []float64
+
 	// Training metadata, informational.
 	TrainSamples int
 	Iterations   int64
@@ -83,10 +91,30 @@ func (m *Model) SVFraction() float64 {
 	return float64(m.NumSV()) / float64(m.TrainSamples)
 }
 
-// Validate checks structural invariants of the model.
+// IsLinear reports whether the model carries an explicit dense hyperplane
+// (the linear fast path applies).
+func (m *Model) IsLinear() bool { return len(m.W) > 0 }
+
+// Validate checks structural invariants of the model. A model must carry a
+// support-vector set, a dense hyperplane W, or both; whichever is present
+// is validated.
 func (m *Model) Validate() error {
+	if m.SV == nil && !m.IsLinear() {
+		return fmt.Errorf("model: nil support vector matrix and no dense hyperplane")
+	}
+	for j, v := range m.W {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("model: weight %d is %v", j, v)
+		}
+	}
 	if m.SV == nil {
-		return fmt.Errorf("model: nil support vector matrix")
+		if len(m.Coef) != 0 {
+			return fmt.Errorf("model: %d coefficients with no support vector matrix", len(m.Coef))
+		}
+		if math.IsNaN(m.Beta) || math.IsInf(m.Beta, 0) {
+			return fmt.Errorf("model: beta is %v", m.Beta)
+		}
+		return m.Kernel.Validate()
 	}
 	if err := m.SV.Validate(); err != nil {
 		return fmt.Errorf("model: SV matrix: %w", err)
@@ -111,11 +139,24 @@ func (m *Model) Validate() error {
 	return m.Kernel.Validate()
 }
 
-// DecisionValue returns the decision function sum_i coef_i*Phi(sv_i, x) - beta
-// for one sample row, evaluated through the batched row engine: x is
-// scattered into a dense scratch once and the whole kernel row over the
-// support vectors is gathered in one pass.
+// DecisionValue returns the decision function for one sample row. A model
+// carrying a dense hyperplane takes the linear fast path — one sparse-dense
+// dot, no row engine, no per-call state. Otherwise the kernel
+// sum_i coef_i*Phi(sv_i, x) - beta is evaluated through the batched row
+// engine: x is scattered into a dense scratch once and the whole kernel row
+// over the support vectors is gathered in one pass.
 func (m *Model) DecisionValue(x sparse.Row) float64 {
+	if m.IsLinear() {
+		return sparse.DotDense(x, m.W) - m.Beta
+	}
+	return m.KernelDecisionValue(x)
+}
+
+// KernelDecisionValue evaluates the support-vector kernel path even when a
+// dense hyperplane is present — the parity reference the linear fast path
+// is tested against (for a linear kernel, w = sum_i coef_i*sv_i makes the
+// two mathematically identical).
+func (m *Model) KernelDecisionValue(x sparse.Row) float64 {
 	if m.NumSV() == 0 {
 		return -m.Beta
 	}

@@ -2,8 +2,11 @@ package model
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -29,6 +32,24 @@ import (
 //
 // It is human-inspectable, diff-friendly, and close enough to libsvm's
 // model files that the correspondence is obvious.
+//
+// Models carrying a dense hyperplane (the linear fast path) additionally
+// write, as format version 1 of the W extension,
+//
+//	w_format 1
+//	w_dim <d>
+//	w_crc <crc32c>
+//	...
+//	SV
+//	<sv lines, possibly none>
+//	W
+//	<idx>:<val> <idx>:<val> ...            (1-based, nonzeros, ascending)
+//
+// The checksum is CRC-32C over the canonical little-endian encoding of
+// (dim, then each (uint32 index, float64 bits) pair in ascending index
+// order), so a corrupted, truncated or reordered W section is rejected at
+// load time; svmserve/svmpredict hot-load linear models through the same
+// loader. Readers reject w_format values they do not know.
 
 // Write serializes the model to w.
 func (m *Model) Write(w io.Writer) error {
@@ -57,6 +78,12 @@ func (m *Model) Write(w io.Writer) error {
 	}
 	fmt.Fprintf(bw, "train_samples %d\n", m.TrainSamples)
 	fmt.Fprintf(bw, "iterations %d\n", m.Iterations)
+	if m.IsLinear() {
+		idx, val := packW(m.W)
+		fmt.Fprintln(bw, "w_format 1")
+		fmt.Fprintf(bw, "w_dim %d\n", len(m.W))
+		fmt.Fprintf(bw, "w_crc %d\n", wChecksum(len(m.W), idx, val))
+	}
 	fmt.Fprintf(bw, "total_sv %d\n", m.NumSV())
 	fmt.Fprintln(bw, "SV")
 	for i := 0; i < m.NumSV(); i++ {
@@ -67,7 +94,58 @@ func (m *Model) Write(w io.Writer) error {
 		}
 		fmt.Fprintln(bw)
 	}
+	if m.IsLinear() {
+		fmt.Fprintln(bw, "W")
+		idx, val := packW(m.W)
+		for k, c := range idx {
+			if k > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%d:%v", c+1, val[k])
+		}
+		if len(idx) > 0 {
+			fmt.Fprintln(bw)
+		}
+	}
 	return bw.Flush()
+}
+
+// packW extracts the nonzero entries of a dense hyperplane in ascending
+// index order — the canonical form both the text encoding and the checksum
+// are defined over.
+func packW(w []float64) (idx []int32, val []float64) {
+	for j, v := range w {
+		if v != 0 {
+			idx = append(idx, int32(j))
+			val = append(val, v)
+		}
+	}
+	return idx, val
+}
+
+var wCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// wChecksum is CRC-32C over the canonical little-endian encoding of a
+// hyperplane: uint64 dim, then (uint32 index, float64 bits) per nonzero in
+// ascending index order.
+func wChecksum(dim int, idx []int32, val []float64) uint32 {
+	h := crc32.New(wCRCTable)
+	var b [12]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(dim))
+	h.Write(b[:8])
+	for k := range idx {
+		binary.LittleEndian.PutUint32(b[:4], uint32(idx[k]))
+		binary.LittleEndian.PutUint64(b[4:12], math.Float64bits(val[k]))
+		h.Write(b[:12])
+	}
+	return h.Sum32()
+}
+
+// wHeader accumulates the W-extension header keys during parsing.
+type wHeader struct {
+	dim    int // -1 = no W extension declared
+	crc    uint32
+	hasCRC bool
 }
 
 // Read parses a model previously written by Write.
@@ -76,7 +154,11 @@ func Read(r io.Reader) (*Model, error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	m := &Model{}
 	totalSV := -1
+	wh := wHeader{dim: -1}
 	inHeader := true
+	inW := false
+	var wIdx []int32
+	var wVal []float64
 	b := sparse.NewBuilder(0)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -92,7 +174,20 @@ func Read(r io.Reader) (*Model, error) {
 			if !ok {
 				return nil, fmt.Errorf("model: malformed header line %q", line)
 			}
-			if err := parseHeader(m, &totalSV, key, val); err != nil {
+			if err := parseHeader(m, &totalSV, &wh, key, val); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if line == "W" {
+			if inW {
+				return nil, fmt.Errorf("model: duplicate W section")
+			}
+			inW = true
+			continue
+		}
+		if inW {
+			if err := parseWLine(line, &wIdx, &wVal); err != nil {
 				return nil, err
 			}
 			continue
@@ -114,14 +209,98 @@ func Read(r io.Reader) (*Model, error) {
 	if totalSV >= 0 && m.SV.Rows() != totalSV {
 		return nil, fmt.Errorf("model: header declared %d SVs, found %d", totalSV, m.SV.Rows())
 	}
+	if wh.dim >= 0 || inW {
+		w, err := buildW(wh, inW, wIdx, wVal)
+		if err != nil {
+			return nil, err
+		}
+		m.W = w
+	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-func parseHeader(m *Model, totalSV *int, key, val string) error {
+// buildW reconstructs the dense hyperplane from the parsed W section and
+// verifies it against the declared checksum. Header and section must both
+// be present, indices ascending and in range, and the CRC must match —
+// anything else is a corrupted or truncated file.
+func buildW(wh wHeader, sawSection bool, idx []int32, val []float64) ([]float64, error) {
+	if wh.dim < 0 {
+		return nil, fmt.Errorf("model: W section without w_dim header")
+	}
+	if !sawSection {
+		return nil, fmt.Errorf("model: w_dim declared but W section missing")
+	}
+	if !wh.hasCRC {
+		return nil, fmt.Errorf("model: w_dim declared but w_crc header missing")
+	}
+	if wh.dim == 0 {
+		return nil, fmt.Errorf("model: w_dim must be positive")
+	}
+	w := make([]float64, wh.dim)
+	prev := int32(-1)
+	for k, c := range idx {
+		if c <= prev {
+			return nil, fmt.Errorf("model: W indices not strictly ascending at entry %d", k)
+		}
+		if int(c) >= wh.dim {
+			return nil, fmt.Errorf("model: W index %d out of range [1,%d]", c+1, wh.dim)
+		}
+		w[c] = val[k]
+		prev = c
+	}
+	if got := wChecksum(wh.dim, idx, val); got != wh.crc {
+		return nil, fmt.Errorf("model: W checksum mismatch: file declares %d, contents hash to %d (corrupted model file)", wh.crc, got)
+	}
+	return w, nil
+}
+
+// parseWLine appends the idx:val entries of one W-section line.
+func parseWLine(line string, idx *[]int32, val *[]float64) error {
+	for _, f := range strings.Fields(line) {
+		idxStr, valStr, ok := strings.Cut(f, ":")
+		if !ok {
+			return fmt.Errorf("model: malformed W entry %q", f)
+		}
+		i, err := strconv.Atoi(idxStr)
+		if err != nil || i < 1 {
+			return fmt.Errorf("model: W index %q", idxStr)
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("model: W value %q: %w", valStr, err)
+		}
+		*idx = append(*idx, int32(i-1))
+		*val = append(*val, v)
+	}
+	return nil
+}
+
+func parseHeader(m *Model, totalSV *int, wh *wHeader, key, val string) error {
 	switch key {
+	case "w_format":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("model: w_format: %w", err)
+		}
+		if v != 1 {
+			return fmt.Errorf("model: unsupported w_format %d (this reader knows version 1)", v)
+		}
+	case "w_dim":
+		d, err := strconv.Atoi(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("model: w_dim %q", val)
+		}
+		wh.dim = d
+	case "w_crc":
+		c, err := strconv.ParseUint(val, 10, 32)
+		if err != nil {
+			return fmt.Errorf("model: w_crc: %w", err)
+		}
+		wh.crc = uint32(c)
+		wh.hasCRC = true
 	case "svm_type":
 		if val != "c_svc" {
 			return fmt.Errorf("model: unsupported svm_type %q", val)

@@ -13,7 +13,9 @@ package multiclass
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -43,7 +45,11 @@ func distinctClasses(y []float64) []float64 {
 
 // Trainer fits one binary machine on labels in {+1, -1}. It decouples the
 // ensemble composition from the engine, so the one-vs-rest reduction works
-// with any solver in the repository (core, smo, dcsvm) or a custom one.
+// with any solver in the repository (core, smo, dcsvm, linear) or a custom
+// one. TrainWith invokes the trainer from multiple goroutines concurrently
+// (one per class over the shared read-only CSR), so a Trainer must be safe
+// for concurrent calls — every engine in the repository is, since each call
+// allocates its own solver state.
 type Trainer func(x *sparse.Matrix, y []float64) (*model.Model, error)
 
 // Train fits one binary one-vs-rest subproblem per class using the
@@ -56,7 +62,13 @@ func Train(x *sparse.Matrix, y []float64, p int, cfg core.Config) (*Model, error
 }
 
 // TrainWith fits one binary one-vs-rest subproblem per class with the
-// given trainer.
+// given trainer. The k subproblems are embarrassingly parallel over the
+// shared read-only CSR (the role OpenMP's parallel-for plays in the
+// one-vs-rest exemplars), so they run on a goroutine per class, bounded by
+// GOMAXPROCS; each goroutine owns its binary label vector and its trained
+// machine, and the assembled ensemble is identical to a sequential loop
+// because class order, per-class labels and the trainer's determinism are
+// all independent of scheduling.
 func TrainWith(x *sparse.Matrix, y []float64, trainer Trainer) (*Model, error) {
 	if x.Rows() != len(y) {
 		return nil, fmt.Errorf("multiclass: %d rows but %d labels", x.Rows(), len(y))
@@ -74,21 +86,40 @@ func TrainWith(x *sparse.Matrix, y []float64, trainer Trainer) (*Model, error) {
 		return &Model{Classes: classes, Binary: []*model.Model{nil, m}}, nil
 	}
 	ens := &Model{Classes: classes, Binary: make([]*model.Model, len(classes))}
-	binLabels := make([]float64, len(y))
+	errs := make([]error, len(classes))
+	workers := min(len(classes), runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for ci, cls := range classes {
-		for i, v := range y {
-			if v == cls {
-				binLabels[i] = 1
-			} else {
-				binLabels[i] = -1
+		wg.Add(1)
+		go func(ci int, cls float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			binLabels := make([]float64, len(y))
+			for i, v := range y {
+				if v == cls {
+					binLabels[i] = 1
+				} else {
+					binLabels[i] = -1
+				}
 			}
-		}
-		m, err := trainer(x, binLabels)
+			m, err := trainer(x, binLabels)
+			if err != nil {
+				errs[ci] = fmt.Errorf("multiclass: class %v: %w", cls, err)
+				return
+			}
+			m.WarmNorms()
+			ens.Binary[ci] = m
+		}(ci, cls)
+	}
+	wg.Wait()
+	// Report the first failing class in class order, so errors are
+	// deterministic regardless of goroutine scheduling.
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("multiclass: class %v: %w", cls, err)
+			return nil, err
 		}
-		m.WarmNorms()
-		ens.Binary[ci] = m
 	}
 	return ens, nil
 }

@@ -1,0 +1,313 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// Linear verification: the primal/linear solvers (internal/linear) never
+// form a kernel matrix, so the kernel oracle's SV-recovery path does not
+// apply to them. This file verifies a (w, alpha) pair directly against the
+// linear QP of the variant's loss, with the same philosophy as the kernel
+// checks: recompute everything from the training data, trust nothing the
+// solver reports.
+//
+// Hinge (L1, the DCD variant):
+//
+//	P(w) = 1/2 ||w||^2 + C sum_i max(0, 1 - y_i(w'x_i - beta))
+//	D(a) = sum_i a_i - 1/2 ||w(a)||^2,  0 <= a_i <= C
+//
+// with w(a) = sum_i a_i y_i x_i. Writing G_i = y_i(w'x_i - beta) - 1, the
+// gap decomposes per sample as a_i*max(G_i,0) + (C-a_i)*max(-G_i,0), each
+// term at most C times the sample's projected-gradient violation — so an
+// eps-terminated DCD run has gap <= eps*C*n, which is LinearGapTolerance.
+//
+// Squared hinge (L2, the MISO variant):
+//
+//	P(w) = 1/2 ||w||^2 + C/2 sum_i max(0, 1 - y_i(w'x_i - beta))^2
+//	D(a) = sum_i a_i - 1/2 ||w(a)||^2 - 1/(2C) sum_i a_i^2,  a_i >= 0
+//
+// where the gap equals sum_i r_i^2/(2C) for the per-sample KKT residual
+// r_i = a_i - C*max(0, 1 - y_i(w'x_i - beta)); a gap within tolerance
+// therefore bounds every residual by sqrt(2C * gap).
+
+// LinearLoss selects the loss the linear QP is verified under.
+type LinearLoss int
+
+const (
+	// HingeLoss is the L1 hinge (the DCD variant's problem).
+	HingeLoss LinearLoss = iota
+	// SquaredHingeLoss is the L2 squared hinge (the MISO variant's problem).
+	SquaredHingeLoss
+)
+
+// String names the loss for reports.
+func (l LinearLoss) String() string {
+	switch l {
+	case HingeLoss:
+		return "hinge"
+	case SquaredHingeLoss:
+		return "squared-hinge"
+	default:
+		return fmt.Sprintf("LinearLoss(%d)", int(l))
+	}
+}
+
+// LinearProblem is the linear QP a primal solution is verified against.
+type LinearProblem struct {
+	X    *sparse.Matrix
+	Y    []float64 // labels in {+1, -1}
+	C    float64
+	Eps  float64 // solver tolerance the checks are calibrated to; 0 = 1e-3
+	Loss LinearLoss
+}
+
+// LinearGapTolerance bounds the duality gap of an eps-approximate linear
+// solution: each of the n samples contributes at most C*eps.
+func LinearGapTolerance(n int, c, eps float64) float64 {
+	return eps*c*float64(n) + 1e-6
+}
+
+// LinearReport is the outcome of one linear verification.
+type LinearReport struct {
+	N    int
+	NNZW int // nonzero weights of the verified hyperplane
+
+	Primal, Dual float64
+	DualityGap   float64
+	RelativeGap  float64
+
+	// MaxKKTViolation is max_i of the per-sample optimality residual: the
+	// projected-gradient violation for hinge, |a_i - C*xi_i| for squared
+	// hinge. Worst carries its context.
+	MaxKKTViolation  float64
+	MeanKKTViolation float64
+	Worst            WorstSample
+
+	// BoxViolation is the max distance of alpha outside its feasible set
+	// ([0, C] for hinge, [0, inf) for squared hinge).
+	BoxViolation float64
+	// WResidual is ||w - sum_i a_i y_i x_i||_inf: the shipped hyperplane
+	// must be the one the dual point induces.
+	WResidual float64
+
+	Loss LinearLoss
+	Eps  float64
+	C    float64
+}
+
+// String renders the report as an aligned block for CLI output.
+func (r *LinearReport) String() string {
+	status := "OK"
+	if err := r.Check(); err != nil {
+		status = "FAIL"
+	}
+	return fmt.Sprintf(
+		"linear oracle report (%s): loss=%s n=%d nnz(w)=%d\n"+
+			"  dual objective    %.6f\n"+
+			"  primal objective  %.6f\n"+
+			"  duality gap       %.3e (relative %.3e, tolerance %.3e)\n"+
+			"  max KKT residual  %.3e (tolerance %.3e) at %s\n"+
+			"  mean KKT residual %.3e\n"+
+			"  box violation     %.3e\n"+
+			"  w residual        %.3e",
+		status, r.Loss, r.N, r.NNZW,
+		r.Dual, r.Primal,
+		r.DualityGap, r.RelativeGap, LinearGapTolerance(r.N, r.C, r.Eps),
+		r.MaxKKTViolation, r.kktTolerance(), r.Worst,
+		r.MeanKKTViolation,
+		r.BoxViolation,
+		r.WResidual)
+}
+
+// kktTolerance is the per-sample residual bound implied by the gap
+// tolerance: 2*eps for hinge (the termination band, as in the kernel
+// oracle); sqrt(2C * gap tolerance) for squared hinge, where the gap is a
+// sum of r^2/(2C) terms.
+func (r *LinearReport) kktTolerance() float64 {
+	if r.Loss == SquaredHingeLoss {
+		return math.Sqrt(2*r.C*LinearGapTolerance(r.N, r.C, r.Eps)) + 1e-9
+	}
+	return 2*r.Eps + 1e-9
+}
+
+// Check returns nil when the verified point is an eps-approximate optimum
+// of the linear QP: dual-feasible, hyperplane consistent with the dual
+// point, per-sample residuals inside the band, and duality gap within
+// LinearGapTolerance.
+func (r *LinearReport) Check() error {
+	if r.BoxViolation > 1e-9*(1+r.C) {
+		return fmt.Errorf("oracle: linear dual point outside its feasible set by %.3e (C=%g)", r.BoxViolation, r.C)
+	}
+	if r.WResidual > 1e-6 {
+		return fmt.Errorf("oracle: hyperplane inconsistent with the dual point: ||w - sum alpha*y*x||_inf = %.3e", r.WResidual)
+	}
+	if tol := r.kktTolerance(); r.MaxKKTViolation > tol {
+		return fmt.Errorf("oracle: max linear KKT residual %.3e exceeds tolerance %.3e: %s",
+			r.MaxKKTViolation, tol, r.Worst)
+	}
+	if r.DualityGap < -1e-6*(1+math.Abs(r.Dual)) {
+		return fmt.Errorf("oracle: negative duality gap %.3e (primal %.6f < dual %.6f): objectives are inconsistent",
+			r.DualityGap, r.Primal, r.Dual)
+	}
+	if tol := LinearGapTolerance(r.N, r.C, r.Eps); r.DualityGap > tol {
+		return fmt.Errorf("oracle: linear duality gap %.3e exceeds tolerance %.3e (worst residual %s)",
+			r.DualityGap, tol, r.Worst)
+	}
+	return nil
+}
+
+func (p LinearProblem) withDefaults() LinearProblem {
+	if p.Eps <= 0 {
+		p.Eps = 1e-3
+	}
+	return p
+}
+
+func (p LinearProblem) validate() error {
+	if p.X == nil {
+		return fmt.Errorf("oracle: nil training matrix")
+	}
+	if p.X.Rows() != len(p.Y) {
+		return fmt.Errorf("oracle: %d rows but %d labels", p.X.Rows(), len(p.Y))
+	}
+	for i, v := range p.Y {
+		if v != 1 && v != -1 {
+			return fmt.Errorf("oracle: label %d is %v, want +1 or -1", i, v)
+		}
+	}
+	if p.C <= 0 {
+		return fmt.Errorf("oracle: C must be positive, got %v", p.C)
+	}
+	if p.Loss != HingeLoss && p.Loss != SquaredHingeLoss {
+		return fmt.Errorf("oracle: unknown linear loss %d", int(p.Loss))
+	}
+	return nil
+}
+
+// VerifyLinear checks a hyperplane and its dual point against the linear
+// QP. Everything is recomputed from the training data: the margins, both
+// objectives, the per-sample residuals, and the hyperplane sum alpha*y*x
+// the dual point induces.
+func (p LinearProblem) VerifyLinear(w []float64, beta float64, alpha []float64) (*LinearReport, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := p.X.Rows()
+	if len(alpha) != n {
+		return nil, fmt.Errorf("oracle: %d alphas for %d samples", len(alpha), n)
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("oracle: empty hyperplane")
+	}
+	for j, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("oracle: w[%d] is %v", j, v)
+		}
+	}
+	for i, a := range alpha {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return nil, fmt.Errorf("oracle: alpha[%d] is %v", i, a)
+		}
+	}
+
+	r := &LinearReport{N: n, Loss: p.Loss, Eps: p.Eps, C: p.C}
+	for _, v := range w {
+		if v != 0 {
+			r.NNZW++
+		}
+	}
+
+	// The hyperplane the dual point induces, accumulated in row order (the
+	// same order the solvers rebuild their shipped w in, so agreement is
+	// exact up to shared floating-point rounding).
+	wa := make([]float64, len(w))
+	for i, a := range alpha {
+		if a != 0 {
+			sparse.AddScaledTo(p.X.RowView(i), wa, a*p.Y[i])
+		}
+	}
+	var wScale float64
+	for j := range w {
+		if d := math.Abs(w[j] - wa[j]); d > r.WResidual {
+			r.WResidual = d
+		}
+		if a := math.Abs(w[j]); a > wScale {
+			wScale = a
+		}
+	}
+
+	var wNorm2 float64
+	for _, v := range w {
+		wNorm2 += v * v
+	}
+	var lossSum, aSum, aSq, violSum float64
+	for i := 0; i < n; i++ {
+		a, y := alpha[i], p.Y[i]
+		f := sparse.GatherDense(p.X.RowView(i), w) - beta
+		margin := 1 - y*f // positive = inside the margin
+		xi := math.Max(0, margin)
+		aSum += a
+		aSq += a * a
+
+		var viol, boxExcess float64
+		var set string
+		if p.Loss == SquaredHingeLoss {
+			lossSum += xi * xi
+			boxExcess = -a // only a >= 0 is required
+			viol = math.Abs(a - p.C*xi)
+			set = "a>=0"
+		} else {
+			lossSum += xi
+			boxExcess = math.Max(-a, a-p.C)
+			// Projected-gradient violation of G = y*f - 1 = -margin.
+			g := -margin
+			switch {
+			case a <= 1e-12*p.C:
+				viol = math.Max(0, -g)
+				set = "alpha=0"
+			case a >= p.C*(1-1e-12):
+				viol = math.Max(0, g)
+				set = "alpha=C"
+			default:
+				viol = math.Abs(g)
+				set = "free"
+			}
+		}
+		if boxExcess > r.BoxViolation {
+			r.BoxViolation = boxExcess
+		}
+		violSum += viol
+		if viol > r.MaxKKTViolation {
+			r.MaxKKTViolation = viol
+			r.Worst = WorstSample{Index: i, Y: y, Alpha: a, Gamma: -margin,
+				Set: set, Violation: viol}
+		}
+	}
+	r.MeanKKTViolation = violSum / float64(n)
+
+	switch p.Loss {
+	case SquaredHingeLoss:
+		r.Primal = 0.5*wNorm2 + 0.5*p.C*lossSum
+		r.Dual = aSum - 0.5*wNorm2 - aSq/(2*p.C)
+	default:
+		r.Primal = 0.5*wNorm2 + p.C*lossSum
+		r.Dual = aSum - 0.5*wNorm2
+	}
+	r.DualityGap = r.Primal - r.Dual
+	r.RelativeGap = r.DualityGap / math.Max(1, math.Max(math.Abs(r.Primal), math.Abs(r.Dual)))
+	return r, nil
+}
+
+// VerifyLinearModel verifies a dense-hyperplane model (as trained by
+// internal/linear) together with the dual point its trainer reported.
+func (p LinearProblem) VerifyLinearModel(m *model.Model, alpha []float64) (*LinearReport, error) {
+	if m == nil || !m.IsLinear() {
+		return nil, fmt.Errorf("oracle: model carries no dense hyperplane")
+	}
+	return p.VerifyLinear(m.W, m.Beta, alpha)
+}

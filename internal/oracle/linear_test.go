@@ -1,0 +1,112 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// Two antipodal unit points along the first axis: x1 = (1,0) with y=+1 and
+// x2 = (-1,0) with y=-1. Both QPs have closed-form optima here, so the
+// verifier can be checked against exact hand-derived solutions.
+func antipodal() (*sparse.Matrix, []float64) {
+	return sparse.FromDense([][]float64{{1, 0}, {-1, 0}}), []float64{1, -1}
+}
+
+// Hinge: w = a1*x1 - a2*x2 = (a1+a2, 0); the dual s - s^2/2 over s = a1+a2
+// peaks at s = 1, so w = (1, 0), both margins exactly 1, gap 0.
+func TestVerifyLinearHingeExact(t *testing.T) {
+	x, y := antipodal()
+	p := LinearProblem{X: x, Y: y, C: 10, Eps: 1e-3, Loss: HingeLoss}
+	rep, err := p.VerifyLinear([]float64{1, 0}, 0, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("exact hinge optimum rejected: %v\n%s", err, rep)
+	}
+	if rep.DualityGap > 1e-12 || rep.DualityGap < -1e-12 {
+		t.Fatalf("gap %v at the exact optimum", rep.DualityGap)
+	}
+	if rep.MaxKKTViolation > 1e-12 {
+		t.Fatalf("KKT residual %v at the exact optimum", rep.MaxKKTViolation)
+	}
+	if !strings.Contains(rep.String(), "OK") {
+		t.Fatalf("report: %s", rep)
+	}
+}
+
+// Squared hinge: minimizing 1/2 w^2 + C(1-w)^2 gives w = 2C/(1+2C) and
+// alpha_i = C(1-w); with C = 10 that is w = 20/21, alpha = 10/21.
+func TestVerifyLinearSquaredHingeExact(t *testing.T) {
+	x, y := antipodal()
+	p := LinearProblem{X: x, Y: y, C: 10, Eps: 1e-3, Loss: SquaredHingeLoss}
+	w, a := 20.0/21.0, 10.0/21.0
+	rep, err := p.VerifyLinear([]float64{w, 0}, 0, []float64{a, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatalf("exact squared-hinge optimum rejected: %v\n%s", err, rep)
+	}
+	if rep.DualityGap > 1e-12 {
+		t.Fatalf("gap %v at the exact optimum", rep.DualityGap)
+	}
+}
+
+func TestVerifyLinearErrors(t *testing.T) {
+	x, y := antipodal()
+	ok := LinearProblem{X: x, Y: y, C: 10, Loss: HingeLoss}
+	w, a := []float64{1, 0}, []float64{0.5, 0.5}
+	cases := []struct {
+		name  string
+		p     LinearProblem
+		w, a  []float64
+		beta  float64
+		wants string
+	}{
+		{"nil matrix", LinearProblem{Y: y, C: 10}, w, a, 0, "nil training matrix"},
+		{"label count", LinearProblem{X: x, Y: y[:1], C: 10}, w, a, 0, "labels"},
+		{"bad label", LinearProblem{X: x, Y: []float64{1, 3}, C: 10}, w, a, 0, "want +1 or -1"},
+		{"bad C", LinearProblem{X: x, Y: y}, w, a, 0, "C must be positive"},
+		{"bad loss", LinearProblem{X: x, Y: y, C: 10, Loss: LinearLoss(7)}, w, a, 0, "unknown linear loss"},
+		{"alpha count", ok, w, a[:1], 0, "alphas for"},
+		{"empty w", ok, nil, a, 0, "empty hyperplane"},
+		{"nan w", ok, []float64{1, nan()}, a, 0, "w[1]"},
+		{"nan alpha", ok, w, []float64{0.5, nan()}, 0, "alpha[1]"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.p.VerifyLinear(tc.w, tc.beta, tc.a); err == nil || !strings.Contains(err.Error(), tc.wants) {
+			t.Fatalf("%s: error = %v, want %q", tc.name, err, tc.wants)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestVerifyLinearModelRequiresW(t *testing.T) {
+	x, y := antipodal()
+	p := LinearProblem{X: x, Y: y, C: 10}
+	if _, err := p.VerifyLinearModel(nil, nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestLinearLossString(t *testing.T) {
+	if HingeLoss.String() != "hinge" || SquaredHingeLoss.String() != "squared-hinge" {
+		t.Fatalf("%v / %v", HingeLoss, SquaredHingeLoss)
+	}
+	if LinearLoss(7).String() == "" {
+		t.Fatal("unknown loss must still render")
+	}
+}
+
+func TestLinearGapTolerance(t *testing.T) {
+	if got := LinearGapTolerance(1000, 10, 1e-3); got < 10 || got > 10.01 {
+		t.Fatalf("tolerance = %v, want ~10", got)
+	}
+}
