@@ -11,7 +11,9 @@ import (
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -28,10 +30,16 @@ func run() error {
 		outPath   = flag.String("out", "", "optional predictions output file (one ±1 per line)")
 		decisions = flag.Bool("decision-values", false, "write raw decision values instead of labels")
 		probs     = flag.Bool("prob", false, "write calibrated probabilities (model must be trained with -probability)")
+		workers   = flag.Int("workers", 0, "prediction worker pool size (0 = GOMAXPROCS)")
+		chunk     = flag.Int("chunk", 4096, "rows evaluated per batched prediction call")
+		noPack    = flag.Bool("no-pack", false, "skip the packed predict-time support-vector layout")
 	)
 	flag.Parse()
 	if *dataPath == "" {
 		return fmt.Errorf("-data is required")
+	}
+	if *chunk <= 0 {
+		*chunk = 4096
 	}
 
 	// serve.LoadModel (shared with cmd/svmserve) validates the model file
@@ -40,6 +48,9 @@ func run() error {
 	m, err := serve.LoadModel(*modelPath)
 	if err != nil {
 		return err
+	}
+	if !*noPack {
+		m.Pack(model.DefaultPackBudget)
 	}
 	x, y, err := dataset.LoadLibsvmFile(*dataPath)
 	if err != nil {
@@ -60,26 +71,36 @@ func run() error {
 	if *probs && !m.HasProb {
 		return fmt.Errorf("model has no probability parameters; train with svmtrain -probability")
 	}
+	// Predictions stream through the same batched path the server uses:
+	// chunks of rows per DecisionValues call, so the worker pool and the
+	// packed layout amortize over whole blocks instead of single rows.
 	correct := 0
-	for i := 0; i < x.Rows(); i++ {
-		row := x.RowView(i)
-		dv := m.DecisionValue(row)
-		pred := 1.0
-		if dv < 0 {
-			pred = -1
+	for lo := 0; lo < x.Rows(); lo += *chunk {
+		hi := min(lo+*chunk, x.Rows())
+		b := sparse.NewBuilder(m.FeatureDim())
+		for i := lo; i < hi; i++ {
+			row := x.RowView(i)
+			b.AddRow(row.Idx, row.Val)
 		}
-		if pred == y[i] {
-			correct++
-		}
-		if out != nil {
-			switch {
-			case *probs:
-				p, _ := m.Probability(row)
-				fmt.Fprintf(out, "%.6f\n", p)
-			case *decisions:
-				fmt.Fprintf(out, "%v\n", dv)
-			default:
-				fmt.Fprintf(out, "%+g\n", pred)
+		dv := m.DecisionValues(b.Build(), *workers)
+		for i, v := range dv {
+			pred := 1.0
+			if v < 0 {
+				pred = -1
+			}
+			if pred == y[lo+i] {
+				correct++
+			}
+			if out != nil {
+				switch {
+				case *probs:
+					p, _ := m.ProbabilityFromDecision(v)
+					fmt.Fprintf(out, "%.6f\n", p)
+				case *decisions:
+					fmt.Fprintf(out, "%v\n", v)
+				default:
+					fmt.Fprintf(out, "%+g\n", pred)
+				}
 			}
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/model"
 	"repro/internal/serve"
 )
 
@@ -75,6 +76,16 @@ func run() error {
 		workers  = flag.Int("workers", 0, "prediction worker pool size (0 = GOMAXPROCS)")
 		maxBatch = flag.Int("max-batch", 4096, "max rows per predict request")
 		drain    = flag.Duration("drain", 0, "graceful shutdown drain timeout (0 = 10s default)")
+
+		noCoalesce  = flag.Bool("no-coalesce", false, "disable request coalescing for single-row predictions")
+		batchWindow = flag.Duration("batch-window", 0, "coalescing window for single-row predictions (0 = 2ms default)")
+		batchMax    = flag.Int("batch-size", 0, "max rows coalesced into one evaluation (0 = 32 default)")
+		replicas    = flag.Int("replicas", 0, "batcher replicas per model, routed by power-of-two-choices (0 = 1 default)")
+		queueDepth  = flag.Int("queue", 0, "outstanding rows per replica before shedding (0 = 1024 default)")
+		maxInflight = flag.Int("max-inflight", 0, "concurrently executing batches per model (0 = 2 default)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "deadline applied to single-row requests without one (0 = none)")
+		packBudget  = flag.Int64("pack-budget", model.DefaultPackBudget,
+			"pack the support vectors of models whose dense block fits this many bytes (0 disables)")
 	)
 	flag.Var(&models, "model", "model file to serve: path or name=path (repeatable)")
 	flag.Parse()
@@ -83,16 +94,28 @@ func run() error {
 	}
 
 	reg := serve.NewRegistry()
+	reg.SetPackBudget(*packBudget)
 	for _, m := range models {
 		if err := reg.Add(m.name, m.path); err != nil {
 			return err
 		}
 		snap, _ := reg.Get(m.name)
-		log.Printf("loaded model %q from %s (%d SVs, kernel %s, calibrated=%v)",
-			m.name, m.path, snap.Model.NumSV(), snap.Model.Kernel, snap.Model.HasProb)
+		log.Printf("loaded model %q from %s (%d SVs, kernel %s, calibrated=%v, packed=%v)",
+			m.name, m.path, snap.Model.NumSV(), snap.Model.Kernel, snap.Model.HasProb, snap.Packed)
 	}
 
-	srv := serve.New(reg, serve.Config{Workers: *workers, MaxBatch: *maxBatch, DrainTimeout: *drain})
+	srv := serve.New(reg, serve.Config{
+		Workers:         *workers,
+		MaxBatch:        *maxBatch,
+		DrainTimeout:    *drain,
+		DisableCoalesce: *noCoalesce,
+		CoalesceWindow:  *batchWindow,
+		CoalesceBatch:   *batchMax,
+		Replicas:        *replicas,
+		QueueDepth:      *queueDepth,
+		MaxInFlight:     *maxInflight,
+		RequestTimeout:  *reqTimeout,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -150,6 +150,7 @@ func Experiments() []Experiment {
 		{ID: "dcsvm", Title: "Divide-and-conquer training vs exact full solves (wall-clock)", Run: RunDCSVM},
 		{ID: "linear", Title: "Linear fast path (explicit w) vs kernel engines on sparse text", Run: RunLinear},
 		{ID: "oracle", Title: "Cross-solver correctness oracle: duality gap and KKT violations per engine", Run: RunOracle},
+		{ID: "serve", Title: "Serving throughput: coalescing, packed layout, and overload shedding", Run: RunServe},
 		{ID: "ckpt", Title: "Checkpoint overhead and resume cost per training engine", Run: RunCkpt},
 		{ID: "kernelrow", Title: "Kernel row engine: pairwise vs dense-scratch vs fused pair (ns/eval)", Run: RunKernelRow},
 		{ID: "validate-model", Title: "Cross-check: analytic model vs executed virtual time", Run: RunValidateModel},

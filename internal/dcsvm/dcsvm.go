@@ -28,6 +28,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/linear"
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/smo"
@@ -63,6 +64,13 @@ type Config struct {
 	// libsvm-enhanced baseline). Coarser levels and the polish always use
 	// smo, whose warm start consumes the coalesced alphas.
 	SubSolver string
+	// DisableLinearFastPath turns off the automatic routing of cold
+	// (no-warm-start) linear-kernel sub-solves through internal/linear's
+	// dual coordinate descent, which solves them in the primal weight
+	// vector with zero kernel evaluations. The fast path is also skipped
+	// when a fault plan targets the core sub-solver, so crash-recovery
+	// runs exercise the engine they mean to test.
+	DisableLinearFastPath bool
 	// P is the rank count per core sub-solve (capped at the cluster
 	// size); 0 means 1.
 	P int
@@ -552,6 +560,16 @@ func solveCluster(px *sparse.Matrix, py, pa []float64, cluster, lo, hi, level in
 		return r
 	}
 	yv := py[lo:hi]
+	if cfg.Kernel.Type == kernel.Linear && !cfg.DisableLinearFastPath && pa == nil &&
+		!(cfg.SubFaults.Enabled() && cfg.SubSolver == "core") {
+		// Linear kernels admit a much cheaper sub-solve: dual coordinate
+		// descent on the primal weight vector (internal/linear), touching
+		// no kernel rows at all. Only cold solves route here — a warm
+		// start carries equality-constrained alphas the bias-free linear
+		// dual cannot consume, so warm levels stay on SMO.
+		r.model, r.iters, r.svs, r.err = solveLinearCluster(view, yv, cluster, level, cfg)
+		return r
+	}
 	if level == 0 && cfg.SubSolver == "core" {
 		p := cfg.P
 		if p > size {
@@ -589,6 +607,45 @@ func solveCluster(px *sparse.Matrix, py, pa []float64, cluster, lo, hi, level in
 	}
 	r.model, r.iters, r.svs, r.evals = res.Model, res.Iterations, res.Model.NumSV(), res.KernelEvals
 	return r
+}
+
+// solveLinearCluster is the linear-kernel fast path for one cold cluster:
+// dual coordinate descent in the primal weight vector (internal/linear),
+// re-expressed as a support-vector model so the hierarchy's coalescing and
+// checkpointing (both built on SVTrainingSet) work unchanged. The rebuilt
+// model's SV rows are content copies of the cluster view (SelectRows
+// preserves row bytes), so checkpoint scatter matches them exactly. The
+// solve performs zero kernel evaluations.
+func solveLinearCluster(view *sparse.Matrix, yv []float64, cluster, level int, cfg Config) (*model.Model, int64, int, error) {
+	res, err := linear.Train(view, yv, linear.Config{
+		C:    cfg.C,
+		Eps:  cfg.Eps,
+		Seed: cfg.Seed + 1000003*int64(level+1) + int64(cluster),
+	})
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("linear fast path: %w", err)
+	}
+	var idx []int
+	var coef []float64
+	for i, a := range res.Alpha {
+		if a > 0 {
+			idx = append(idx, i)
+			coef = append(coef, a*yv[i])
+		}
+	}
+	sx, err := view.SelectRows(idx)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("linear fast path: %w", err)
+	}
+	m := &model.Model{
+		Kernel:       cfg.Kernel,
+		C:            cfg.C,
+		SV:           sx,
+		Coef:         coef,
+		Beta:         0, // bias-free LIBLINEAR convention, same as res.Model
+		TrainSamples: view.Rows(),
+	}
+	return m, int64(res.Updates), len(idx), nil
 }
 
 // warmStartAlpha turns coalesced sub-problem alphas into a start the next

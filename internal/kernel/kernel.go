@@ -117,6 +117,52 @@ func (p Params) Eval(a, b sparse.Row, normA, normB float64) float64 {
 	return p.finishDot(sparse.DotRows(a, b), normA, normB)
 }
 
+// FinishDot maps a raw inner product <a, b> (plus the squared norms, used
+// only by the Gaussian kernel) to the kernel value. Exported for predict-time
+// layouts that compute dot products outside the row engine (model.PackedSVs):
+// both funnel through the same arithmetic, so their kernel values are
+// bit-identical to the pairwise Eval and the batched row engine.
+func (p Params) FinishDot(dot, normA, normB float64) float64 {
+	return p.finishDot(dot, normA, normB)
+}
+
+// WeightedFinishDots accumulates sum_i coef[i] * Phi(dots[i]) with the
+// kernel-type dispatch hoisted out of the per-element loop — finishDot is
+// too large to inline, and a call per support vector is measurable next to
+// the arithmetic. Each element evaluates exactly finishDot's expression in
+// finishDot's operation order, and the sum accumulates in ascending i, so
+// the result is bit-identical to looping over FinishDot.
+func (p Params) WeightedFinishDots(coef, dots, norms []float64, normB float64) float64 {
+	var s float64
+	switch p.Type {
+	case Gaussian:
+		for i, c := range coef {
+			d2 := norms[i] + normB - 2*dots[i]
+			if d2 < 0 {
+				d2 = 0
+			}
+			s += c * math.Exp(-p.Gamma*d2)
+		}
+	case Linear:
+		for i, c := range coef {
+			s += c * dots[i]
+		}
+	case Polynomial:
+		for i, c := range coef {
+			s += c * powi(p.Gamma*dots[i]+p.Coef0, p.Degree)
+		}
+	case Sigmoid:
+		for i, c := range coef {
+			s += c * math.Tanh(p.Gamma*dots[i]+p.Coef0)
+		}
+	default:
+		for i, c := range coef {
+			s += c * p.finishDot(dots[i], norms[i], normB)
+		}
+	}
+	return s
+}
+
 // finishDot maps a raw inner product <a, b> (plus the squared norms, used
 // only by the Gaussian kernel) to the kernel value. It is the single place
 // a dot product becomes Phi(a, b), shared by the pairwise Eval and the

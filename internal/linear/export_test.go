@@ -1,0 +1,16 @@
+package linear
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TextProblem exposes textProblem to the external test package. The oracle
+// parity tests live in package linear_test rather than here: they import
+// internal/oracle, which imports internal/dcsvm, which imports this package
+// for the linear-kernel sub-solve fast path — an import cycle for an
+// in-package test.
+func TextProblem(t *testing.T, scale float64) (trainX *sparse.Matrix, trainY []float64, testX *sparse.Matrix, testY []float64) {
+	return textProblem(t, scale)
+}

@@ -1,9 +1,14 @@
-package linear
+// Package linear_test holds the oracle parity checks outside package
+// linear: internal/oracle imports internal/dcsvm, which imports
+// internal/linear for its linear-kernel sub-solve fast path, so an
+// in-package test importing the oracle would close an import cycle.
+package linear_test
 
 import (
 	"strings"
 	"testing"
 
+	"repro/internal/linear"
 	"repro/internal/oracle"
 )
 
@@ -13,8 +18,8 @@ import (
 // asserted.
 
 func TestDCDPassesOracle(t *testing.T) {
-	x, y, _, _ := textProblem(t, 0.05)
-	res, err := Train(x, y, Config{C: 10, Seed: 3})
+	x, y, _, _ := linear.TextProblem(t, 0.05)
+	res, err := linear.Train(x, y, linear.Config{C: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,8 +39,8 @@ func TestDCDPassesOracle(t *testing.T) {
 }
 
 func TestMISOPassesOracle(t *testing.T) {
-	x, y, _, _ := textProblem(t, 0.05)
-	res, err := Train(x, y, Config{Variant: MISO, C: 10, Seed: 3})
+	x, y, _, _ := linear.TextProblem(t, 0.05)
+	res, err := linear.Train(x, y, linear.Config{Variant: linear.MISO, C: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,8 +60,8 @@ func TestMISOPassesOracle(t *testing.T) {
 // TestOracleCatchesTampering: the verifier is only worth its name if it
 // rejects a solution that has been quietly damaged.
 func TestOracleCatchesTampering(t *testing.T) {
-	x, y, _, _ := textProblem(t, 0.03)
-	res, err := Train(x, y, Config{C: 10, Seed: 3})
+	x, y, _, _ := linear.TextProblem(t, 0.03)
+	res, err := linear.Train(x, y, linear.Config{C: 10, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -46,6 +46,73 @@ func (m *Model) PredictBatch(x *sparse.Matrix, workers int) []float64 {
 	return out
 }
 
+// DecisionValuesRows computes the decision function for each row using at
+// most workers goroutines, without requiring the rows to share a matrix.
+// The request-coalescing path (internal/serve/batcher) scores a window of
+// independently submitted rows through this: same numbers as
+// DecisionValues row for row, no intermediate CSR copy.
+func (m *Model) DecisionValuesRows(rows []sparse.Row, workers int) []float64 {
+	n := len(rows)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + batchChunk - 1) / batchChunk; workers > max {
+		workers = max
+	}
+	if m.IsLinear() {
+		fanRows(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = sparse.DotDense(rows[i], m.W) - m.Beta
+			}
+		})
+		return out
+	}
+	if m.NumSV() == 0 {
+		for i := range out {
+			out[i] = -m.Beta
+		}
+		return out
+	}
+	m.WarmNorms()
+	if workers <= 1 {
+		st := m.acquirePredict()
+		for i, r := range rows {
+			out[i] = m.decisionWith(st, r)
+		}
+		m.predictPool.Put(st)
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := m.acquirePredict()
+			defer m.predictPool.Put(st)
+			for {
+				lo := int(next.Add(batchChunk)) - batchChunk
+				if lo >= n {
+					return
+				}
+				hi := lo + batchChunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					out[i] = m.decisionWith(st, rows[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 func (m *Model) decisionValuesInto(x *sparse.Matrix, workers int, out []float64) {
 	n := x.Rows()
 	if n == 0 {

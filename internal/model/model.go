@@ -49,6 +49,7 @@ type Model struct {
 	svNormsCache []float64         // lazily computed support-vector squared norms
 	svEval       *kernel.Evaluator // lazily built evaluator over the SV matrix
 	predictPool  sync.Pool         // *predictState, per-call row-engine state
+	packed       *PackedSVs        // optional dense predict-time layout (see Pack)
 }
 
 // predictState is the per-call state of the batched decision function: a
@@ -94,6 +95,17 @@ func (m *Model) SVFraction() float64 {
 // IsLinear reports whether the model carries an explicit dense hyperplane
 // (the linear fast path applies).
 func (m *Model) IsLinear() bool { return len(m.W) > 0 }
+
+// FeatureDim returns the feature-space width prediction expects: the
+// support-vector matrix's column count, or the hyperplane length for
+// W-only linear models. Request rows with larger indices pair with
+// implicit zeros on every path, so the width is a sizing hint, not a cap.
+func (m *Model) FeatureDim() int {
+	if m.SV != nil {
+		return m.SV.Cols
+	}
+	return len(m.W)
+}
 
 // Validate checks structural invariants of the model. A model must carry a
 // support-vector set, a dense hyperplane W, or both; whichever is present
@@ -166,8 +178,14 @@ func (m *Model) KernelDecisionValue(x sparse.Row) float64 {
 	return f
 }
 
-// decisionWith scores one row using borrowed per-call state.
+// decisionWith scores one row using borrowed per-call state. When the dense
+// predict-time layout is built (Pack), the kernel row comes from the packed
+// block — bit-identical to the row engine, so every caller sees one path's
+// numbers regardless of packing.
 func (m *Model) decisionWith(st *predictState, x sparse.Row) float64 {
+	if p := m.packed; p != nil {
+		return p.decision(x, m.Coef, m.Beta, st.buf)
+	}
 	st.ev.RowRangeInto(&st.scr, x, kernel.SquaredNormOf(x), 0, len(m.Coef), st.buf)
 	var s float64
 	for i, c := range m.Coef {

@@ -101,6 +101,49 @@ func (h *histogram) write(w io.Writer) {
 	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
 }
 
+// gaugeVec exposes instantaneous values read at scrape time from
+// registered closures — the idiomatic shape for queue depths, which
+// already live in the batcher's atomics and would race a mirrored copy.
+type gaugeVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	sources    map[string]func() float64 // joined label values -> reader
+}
+
+func newGaugeVec(name, help string, labels ...string) *gaugeVec {
+	return &gaugeVec{name: name, help: help, labels: labels, sources: map[string]func() float64{}}
+}
+
+func (g *gaugeVec) register(fn func() float64, labelValues ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sources[strings.Join(labelValues, labelSep)] = fn
+}
+
+func (g *gaugeVec) write(w io.Writer) {
+	g.mu.Lock()
+	keys := make([]string, 0, len(g.sources))
+	for k := range g.sources {
+		keys = append(keys, k)
+	}
+	fns := make([]func() float64, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		fns[i] = g.sources[k]
+	}
+	g.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+	for i, k := range keys {
+		vals := strings.Split(k, labelSep)
+		pairs := make([]string, len(g.labels))
+		for j, l := range g.labels {
+			pairs[j] = fmt.Sprintf("%s=%q", l, vals[j])
+		}
+		fmt.Fprintf(w, "%s{%s} %g\n", g.name, strings.Join(pairs, ","), fns[i]())
+	}
+}
+
 // metrics aggregates everything /metrics exposes.
 type metrics struct {
 	requests    *counterVec // by "path code", e.g. "/v1/predict 200"
@@ -108,6 +151,17 @@ type metrics struct {
 	batchSizes  *histogram  // rows per predict request
 	predictions *counterVec // rows predicted, by model name
 	reloads     *counterVec // successful reloads, by model name
+
+	// Serving-pipeline metrics (coalescing, shedding, routing).
+	queueDepth    *gaugeVec   // outstanding rows, by model and replica
+	coalesced     *histogram  // rows per coalesced batch execution
+	shed          *counterVec // rejected requests, by model and reason
+	admitted      *counterVec // admitted single-row requests, by model
+	queueWait     *histogram  // oldest-row queue wait per batch, seconds
+	execTime      *histogram  // model evaluation time per batch, seconds
+	packedModels  *gaugeVec   // 1 if the live snapshot is packed, by model
+	packedBytes   *gaugeVec   // packed layout size in bytes, by model
+	replicaPicked *counterVec // router picks, by model and replica index
 }
 
 func newMetrics() *metrics {
@@ -124,6 +178,27 @@ func newMetrics() *metrics {
 			"Rows predicted per model.", "model"),
 		reloads: newCounterVec("svmserve_model_reloads_total",
 			"Successful model reloads per model.", "model"),
+		queueDepth: newGaugeVec("svmserve_queue_depth",
+			"Rows submitted and not yet answered, per model replica.", "model", "replica"),
+		coalesced: newHistogram("svmserve_coalesced_batch_size",
+			"Rows coalesced per batch execution.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
+		shed: newCounterVec("svmserve_shed_total",
+			"Requests rejected by admission control, by reason.", "model", "reason"),
+		admitted: newCounterVec("svmserve_admitted_total",
+			"Single-row requests admitted past load shedding.", "model"),
+		queueWait: newHistogram("svmserve_batch_queue_wait_seconds",
+			"Oldest-row queue wait per coalesced batch.",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1}),
+		execTime: newHistogram("svmserve_batch_exec_seconds",
+			"Model evaluation time per coalesced batch.",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}),
+		packedModels: newGaugeVec("svmserve_model_packed",
+			"1 when the live snapshot carries the packed predict-time layout.", "model"),
+		packedBytes: newGaugeVec("svmserve_model_packed_bytes",
+			"Bytes held by the packed predict-time layout.", "model"),
+		replicaPicked: newCounterVec("svmserve_replica_picks_total",
+			"Requests routed per replica by power-of-two-choices.", "model", "replica"),
 	}
 }
 
@@ -133,4 +208,13 @@ func (m *metrics) write(w io.Writer) {
 	m.batchSizes.write(w)
 	m.predictions.write(w)
 	m.reloads.write(w)
+	m.queueDepth.write(w)
+	m.coalesced.write(w)
+	m.shed.write(w)
+	m.admitted.write(w)
+	m.queueWait.write(w)
+	m.execTime.write(w)
+	m.packedModels.write(w)
+	m.packedBytes.write(w)
+	m.replicaPicked.write(w)
 }

@@ -43,6 +43,10 @@ type Snapshot struct {
 	Path     string
 	LoadedAt time.Time
 	Version  uint64 // increments on every successful (re)load
+	// Packed reports whether the model carries the dense predict-time
+	// support-vector layout (model.PackedSVs), built at (re)load when the
+	// registry has a pack budget and the model fits it.
+	Packed bool
 }
 
 // entry is one named model slot. The atomic.Pointer is the hot-reload
@@ -64,11 +68,34 @@ type entry struct {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+	// packBudget, when positive, packs every (re)loaded model whose dense
+	// support-vector block fits within this many bytes. Zero disables
+	// packing (the default, so registries built for tests are unchanged).
+	packBudget atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*entry)}
+}
+
+// SetPackBudget enables predict-time packing: every model (re)loaded from
+// now on whose dense support-vector block fits within budget bytes gets a
+// model.PackedSVs layout built before it is published. budget <= 0
+// disables packing for future loads. Already-published snapshots are not
+// repacked; Reload them to apply a new budget.
+func (r *Registry) SetPackBudget(budget int64) {
+	r.packBudget.Store(budget)
+}
+
+// pack applies the registry's pack budget to a freshly loaded model and
+// reports whether the packed layout was built.
+func (r *Registry) pack(m *model.Model) bool {
+	b := r.packBudget.Load()
+	if b <= 0 {
+		return false
+	}
+	return m.Pack(b)
 }
 
 // Add loads the model file at path and registers it under name. Adding a
@@ -83,7 +110,7 @@ func (r *Registry) Add(name, path string) error {
 	}
 	e := &entry{path: path}
 	e.version.Store(1)
-	e.ptr.Store(&Snapshot{Model: m, Path: path, LoadedAt: time.Now(), Version: 1})
+	e.ptr.Store(&Snapshot{Model: m, Path: path, LoadedAt: time.Now(), Version: 1, Packed: r.pack(m)})
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.entries[name]; dup {
@@ -120,7 +147,7 @@ func (r *Registry) Reload(name string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: reload %q: %w", name, err)
 	}
-	snap := &Snapshot{Model: m, Path: e.path, LoadedAt: time.Now(), Version: e.version.Add(1)}
+	snap := &Snapshot{Model: m, Path: e.path, LoadedAt: time.Now(), Version: e.version.Add(1), Packed: r.pack(m)}
 	e.ptr.Store(snap)
 	return snap, nil
 }

@@ -1,0 +1,57 @@
+// Package router spreads requests over N replicas of a serving pipeline
+// with the power-of-two-choices policy: sample two distinct replicas
+// uniformly, route to the one with the shorter queue. Two choices is the
+// classical sweet spot — it collapses the maximum queue imbalance from
+// O(log n / log log n) to O(log log n) versus one random choice, at the
+// cost of reading a single extra atomic, and it needs no shared state
+// beyond each replica's own depth counter (no lock contention on one
+// registry entry).
+package router
+
+import "math/rand/v2"
+
+// Replica is one routable pipeline instance; its queue depth is the load
+// signal (batcher.Batcher implements it).
+type Replica interface {
+	QueueDepth() int64
+}
+
+// Router picks replicas. The replica set is fixed at construction, so
+// Pick is lock-free and safe for concurrent use.
+type Router[R Replica] struct {
+	replicas []R
+}
+
+// New builds a router over a fixed, non-empty replica set.
+func New[R Replica](replicas []R) *Router[R] {
+	if len(replicas) == 0 {
+		panic("router: empty replica set")
+	}
+	return &Router[R]{replicas: replicas}
+}
+
+// Len returns the replica count.
+func (r *Router[R]) Len() int { return len(r.replicas) }
+
+// Replicas returns the routed replica set (shared slice; do not mutate).
+func (r *Router[R]) Replicas() []R { return r.replicas }
+
+// Pick returns a replica chosen by power-of-two-choices on queue depth,
+// along with its index. With one replica it is returned directly; with
+// two, both are always examined, making the pick deterministic under
+// unequal load.
+func (r *Router[R]) Pick() (int, R) {
+	n := len(r.replicas)
+	if n == 1 {
+		return 0, r.replicas[0]
+	}
+	i := rand.IntN(n)
+	j := rand.IntN(n - 1)
+	if j >= i {
+		j++
+	}
+	if r.replicas[j].QueueDepth() < r.replicas[i].QueueDepth() {
+		i = j
+	}
+	return i, r.replicas[i]
+}

@@ -1,0 +1,63 @@
+package router
+
+import "testing"
+
+type fakeReplica struct {
+	id    int
+	depth int64
+}
+
+func (f *fakeReplica) QueueDepth() int64 { return f.depth }
+
+func TestPickPrefersShorterQueue(t *testing.T) {
+	// With exactly two replicas, power-of-two-choices examines both, so
+	// the pick is deterministic whenever depths differ.
+	a, b := &fakeReplica{id: 0, depth: 5}, &fakeReplica{id: 1, depth: 0}
+	r := New([]*fakeReplica{a, b})
+	for k := 0; k < 100; k++ {
+		if i, rep := r.Pick(); i != 1 || rep.id != 1 {
+			t.Fatalf("pick %d chose replica %d (depth %d), want the idle one", k, i, rep.depth)
+		}
+	}
+	b.depth, a.depth = 7, 2
+	for k := 0; k < 100; k++ {
+		if i, _ := r.Pick(); i != 0 {
+			t.Fatalf("pick %d chose replica %d after load flipped", k, i)
+		}
+	}
+}
+
+func TestPickSingleReplica(t *testing.T) {
+	only := &fakeReplica{id: 0}
+	r := New([]*fakeReplica{only})
+	if i, rep := r.Pick(); i != 0 || rep != only {
+		t.Fatal("single-replica pick")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestPickSpreadsOverEqualReplicas(t *testing.T) {
+	reps := []*fakeReplica{{id: 0}, {id: 1}, {id: 2}, {id: 3}}
+	r := New(reps)
+	seen := make(map[int]int)
+	for k := 0; k < 4000; k++ {
+		i, _ := r.Pick()
+		seen[i]++
+	}
+	for i := range reps {
+		if seen[i] < 500 {
+			t.Fatalf("replica %d picked only %d/4000 times under equal load: %v", i, seen[i], seen)
+		}
+	}
+}
+
+func TestNewEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted an empty replica set")
+		}
+	}()
+	New([]*fakeReplica{})
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -14,6 +15,10 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/serve/batcher"
+	"repro/internal/serve/router"
+	"repro/internal/serve/shed"
 	"repro/internal/sparse"
 )
 
@@ -28,6 +33,30 @@ type Config struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+
+	// Serving-pipeline knobs. Single-row predict requests flow through a
+	// per-model pipeline: load shedding (admission control), a
+	// power-of-two-choices replica router, and a coalescing batcher.
+
+	// DisableCoalesce sends single-row requests down the direct path used
+	// for client batches instead of through the pipeline.
+	DisableCoalesce bool
+	// CoalesceWindow is how long a batch window stays open waiting for
+	// co-riders (default 2ms; see batcher.Config.MaxWait).
+	CoalesceWindow time.Duration
+	// CoalesceBatch caps rows coalesced into one evaluation (default 32).
+	CoalesceBatch int
+	// Replicas is the number of batcher replicas per model (default 1).
+	Replicas int
+	// QueueDepth bounds outstanding rows per replica (default 1024).
+	QueueDepth int
+	// MaxInFlight bounds concurrently executing batches per model
+	// (default 2).
+	MaxInFlight int
+	// RequestTimeout is the deadline applied to single-row requests that
+	// arrive without one; the shedder rejects requests it cannot answer
+	// inside their deadline. Zero leaves such requests unbounded.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -40,20 +69,124 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.CoalesceWindow <= 0 {
+		c.CoalesceWindow = 2 * time.Millisecond
+	}
+	if c.CoalesceBatch <= 0 {
+		c.CoalesceBatch = 32
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
 	return c
+}
+
+// pipeline is the per-model serving stack: admission control in front of a
+// replica router over coalescing batchers. All replicas resolve the same
+// registry entry, so a hot-reload switches every replica's next batch.
+type pipeline struct {
+	shed   *shed.Shedder
+	router *router.Router[*batcher.Batcher]
 }
 
 // Server serves the models in a Registry over HTTP.
 type Server struct {
-	reg   *Registry
-	cfg   Config
-	met   *metrics
-	start time.Time
+	reg       *Registry
+	cfg       Config
+	met       *metrics
+	start     time.Time
+	pipelines map[string]*pipeline
 }
 
-// New builds a Server around an already-populated registry.
+// New builds a Server around an already-populated registry. The registry's
+// model set must be final: each registered model gets its serving pipeline
+// (shedder, replica router, coalescing batchers) built here. Call Close
+// when done to drain the pipelines.
 func New(reg *Registry, cfg Config) *Server {
-	return &Server{reg: reg, cfg: cfg.withDefaults(), met: newMetrics(), start: time.Now()}
+	s := &Server{
+		reg:       reg,
+		cfg:       cfg.withDefaults(),
+		met:       newMetrics(),
+		start:     time.Now(),
+		pipelines: make(map[string]*pipeline),
+	}
+	for _, name := range reg.Names() {
+		s.pipelines[name] = s.newPipeline(name)
+		s.registerModelGauges(name)
+	}
+	return s
+}
+
+func (s *Server) newPipeline(name string) *pipeline {
+	sh := shed.New(shed.Config{
+		MaxQueue:    s.cfg.QueueDepth * s.cfg.Replicas,
+		MaxInFlight: s.cfg.MaxInFlight,
+	})
+	reps := make([]*batcher.Batcher, s.cfg.Replicas)
+	for i := range reps {
+		reps[i] = batcher.New(s.sourceFor(name), batcher.Config{
+			MaxBatch: s.cfg.CoalesceBatch,
+			MaxWait:  s.cfg.CoalesceWindow,
+			Queue:    s.cfg.QueueDepth,
+			Workers:  s.cfg.Workers,
+			Gate:     sh,
+			OnBatch: func(size int, queueWait, exec time.Duration) {
+				sh.ObserveBatch(size, exec)
+				s.met.coalesced.observe(float64(size))
+				s.met.queueWait.observe(queueWait.Seconds())
+				s.met.execTime.observe(exec.Seconds())
+			},
+		})
+		s.met.queueDepth.register(replicaDepthReader(reps[i]), name, strconv.Itoa(i))
+	}
+	return &pipeline{shed: sh, router: router.New(reps)}
+}
+
+func replicaDepthReader(b *batcher.Batcher) func() float64 {
+	return func() float64 { return float64(b.QueueDepth()) }
+}
+
+// sourceFor resolves the current snapshot for name at batch-execution
+// time, so every batch runs against exactly one published model version.
+func (s *Server) sourceFor(name string) batcher.Source {
+	return func() (*model.Model, uint64) {
+		snap, ok := s.reg.Get(name)
+		if !ok {
+			return nil, 0
+		}
+		return snap.Model, snap.Version
+	}
+}
+
+func (s *Server) registerModelGauges(name string) {
+	s.met.packedModels.register(func() float64 {
+		if snap, ok := s.reg.Get(name); ok && snap.Packed {
+			return 1
+		}
+		return 0
+	}, name)
+	s.met.packedBytes.register(func() float64 {
+		if snap, ok := s.reg.Get(name); ok {
+			return float64(snap.Model.PackedBytes())
+		}
+		return 0
+	}, name)
+}
+
+// Close drains every pipeline: queued predictions are answered, then the
+// batchers stop. The server must not receive traffic after Close.
+func (s *Server) Close() {
+	for _, p := range s.pipelines {
+		for _, b := range p.router.Replicas() {
+			b.Close()
+		}
+	}
 }
 
 // Handler returns the routed HTTP handler:
@@ -75,7 +208,8 @@ func (s *Server) Handler() http.Handler {
 
 // Serve runs the handler on ln until ctx is cancelled, then shuts down
 // gracefully: the listener closes, in-flight requests drain (bounded by
-// DrainTimeout), and Serve returns nil on a clean drain.
+// DrainTimeout), the coalescing pipelines close, and Serve returns nil on
+// a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.Handler()}
 	errc := make(chan error, 1)
@@ -89,6 +223,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		if err := hs.Shutdown(sctx); err != nil {
 			return fmt.Errorf("serve: drain: %w", err)
 		}
+		s.Close()
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
@@ -156,6 +291,8 @@ type ModelInfo struct {
 	LoadedAt     string  `json:"loaded_at"`
 	Predictions  uint64  `json:"predictions"`
 	SVFraction   float64 `json:"sv_fraction"`
+	Packed       bool    `json:"packed"`
+	PackedBytes  int64   `json:"packed_bytes,omitempty"`
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +315,8 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			LoadedAt:     snap.LoadedAt.UTC().Format(time.RFC3339Nano),
 			Predictions:  s.met.predictions.get(n),
 			SVFraction:   m.SVFraction(),
+			Packed:       snap.Packed,
+			PackedBytes:  m.PackedBytes(),
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"models": infos})
@@ -259,10 +398,26 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The snapshot grabbed above is used for the whole request: a
-	// concurrent hot-reload publishes a new pointer but cannot affect us.
+	if p, ok := s.pipelines[name]; ok && len(rows) == 1 && !s.cfg.DisableCoalesce {
+		s.predictCoalesced(w, r, name, p, rows[0])
+		return
+	}
+
+	// Direct path: client-assembled batches (and single rows when
+	// coalescing is off) evaluate in one call against the snapshot grabbed
+	// above — a concurrent hot-reload publishes a new pointer but cannot
+	// affect us. The shedder still bounds concurrent evaluations so a
+	// flood of large batches cannot starve the coalesced pipeline.
+	if p, ok := s.pipelines[name]; ok {
+		if err := p.shed.AcquireBatch(r.Context()); err != nil {
+			s.met.shed.add(1, name, "batch_gate")
+			writeOverload(w, err)
+			return
+		}
+		defer p.shed.ReleaseBatch()
+	}
 	m := snap.Model
-	b := sparse.NewBuilder(m.SV.Cols)
+	b := sparse.NewBuilder(m.FeatureDim())
 	for _, row := range rows {
 		b.AddRow(row.Idx, row.Val)
 	}
@@ -284,6 +439,74 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.met.batchSizes.observe(float64(len(dv)))
 	s.met.predictions.add(uint64(len(dv)), name)
 	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Version: snap.Version, Predictions: preds})
+}
+
+// predictCoalesced answers one row through the serving pipeline:
+// admission control, replica pick, coalescing batcher.
+func (s *Server) predictCoalesced(w http.ResponseWriter, r *http.Request, name string, p *pipeline, row sparse.Row) {
+	ctx := r.Context()
+	if _, has := ctx.Deadline(); !has && s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	release, err := p.shed.Admit(ctx)
+	if err != nil {
+		s.met.shed.add(1, name, overloadReason(err))
+		writeOverload(w, err)
+		return
+	}
+	defer release()
+	s.met.admitted.add(1, name)
+
+	idx, rep := p.router.Pick()
+	s.met.replicaPicked.add(1, name, strconv.Itoa(idx))
+	res, err := rep.Predict(ctx, row)
+	if err != nil {
+		if errors.Is(err, batcher.ErrQueueFull) {
+			s.met.shed.add(1, name, "queue_full")
+		}
+		writeOverload(w, err)
+		return
+	}
+	pred := Prediction{Label: res.Label, Decision: res.Decision}
+	if res.HasProb {
+		prob := res.Prob
+		pred.Probability = &prob
+	}
+	s.met.batchSizes.observe(1)
+	s.met.predictions.add(1, name)
+	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Version: res.Version, Predictions: []Prediction{pred}})
+}
+
+func overloadReason(err error) string {
+	var ov *shed.Overload
+	if errors.As(err, &ov) {
+		return ov.Reason
+	}
+	return "other"
+}
+
+// writeOverload maps pipeline errors to HTTP: explicit 429s for shedding
+// (with a Retry-After hint when the shedder has one), 504 for deadlines,
+// 503 for a draining server. Nothing is dropped without a response.
+func writeOverload(w http.ResponseWriter, err error) {
+	var ov *shed.Overload
+	switch {
+	case errors.As(err, &ov):
+		if ov.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(ov.RetryAfter.Seconds()))))
+		}
+		writeError(w, http.StatusTooManyRequests, "overloaded (%s): %v", ov.Reason, err)
+	case errors.Is(err, batcher.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "%v", err)
+	case errors.Is(err, batcher.ErrClosed), errors.Is(err, batcher.ErrNoModel):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	}
 }
 
 // decodePredict turns a request body into feature rows. JSON bodies use

@@ -1,0 +1,128 @@
+package shed
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmitQueueBound(t *testing.T) {
+	s := New(Config{MaxQueue: 3})
+	ctx := context.Background()
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := s.Admit(ctx)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if _, err := s.Admit(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("4th admit on a 3-deep queue: got %v, want ErrOverloaded", err)
+	}
+	var ov *Overload
+	_, err := s.Admit(ctx)
+	if !errors.As(err, &ov) || ov.Reason != "queue_full" {
+		t.Fatalf("overload reason: got %v", err)
+	}
+	releases[0]()
+	releases[0]() // double release must not free a second slot
+	if _, err := s.Admit(ctx); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	if _, err := s.Admit(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatal("double release freed two slots")
+	}
+	if adm, shed := s.Stats(); adm != 4 || shed != 3 {
+		t.Fatalf("stats: admitted %d shed %d, want 4 and 3", adm, shed)
+	}
+}
+
+func TestAdmitDeadlineShedding(t *testing.T) {
+	s := New(Config{MaxQueue: 1000, MaxInFlight: 1})
+	// Teach the estimator: 10ms per row.
+	s.ObserveBatch(1, 10*time.Millisecond)
+	// Fill the queue with 50 requests: estimated wait = 500ms.
+	for i := 0; i < 50; i++ {
+		if _, err := s.Admit(context.Background()); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if w := s.estimatedWait(); w < 400*time.Millisecond {
+		t.Fatalf("estimated wait %v, want >= 400ms", w)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := s.Admit(ctx)
+	var ov *Overload
+	if !errors.As(err, &ov) || ov.Reason != "deadline" {
+		t.Fatalf("tight deadline behind a long queue: got %v, want deadline overload", err)
+	}
+	if ov.RetryAfter <= 0 {
+		t.Fatalf("deadline overload carries no retry hint: %+v", ov)
+	}
+	// A generous deadline is still admitted.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if _, err := s.Admit(ctx2); err != nil {
+		t.Fatalf("generous deadline rejected: %v", err)
+	}
+}
+
+func TestBatchSemaphore(t *testing.T) {
+	s := New(Config{MaxInFlight: 1})
+	if err := s.AcquireBatch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.AcquireBatch(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second acquire on a 1-slot semaphore: got %v", err)
+	}
+	s.ReleaseBatch()
+	if err := s.AcquireBatch(context.Background()); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	s.ReleaseBatch()
+}
+
+func TestEWMAConverges(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 100; i++ {
+		s.ObserveBatch(10, 10*time.Millisecond) // 1ms per row
+	}
+	got := s.estimatedWaitPerRow()
+	if got < 0.0009 || got > 0.0011 {
+		t.Fatalf("EWMA per-row %v, want ~1ms", got)
+	}
+}
+
+// estimatedWaitPerRow exposes the smoothed estimate for tests.
+func (s *Shedder) estimatedWaitPerRow() float64 {
+	s.depth.Store(int64(s.cfg.MaxInFlight)) // one row queued per slot
+	defer s.depth.Store(0)
+	return s.estimatedWait().Seconds()
+}
+
+func TestConcurrentAdmitRace(t *testing.T) {
+	s := New(Config{MaxQueue: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if rel, err := s.Admit(context.Background()); err == nil {
+					rel()
+				}
+				s.ObserveBatch(1, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after all releases, want 0", d)
+	}
+}
