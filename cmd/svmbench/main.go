@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/dataset"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "multiply default dataset scales (smaller = faster)")
 		eps     = flag.Float64("eps", 1e-3, "solver tolerance epsilon")
 		workers = flag.Int("baseline-workers", 16, "libsvm-enhanced worker count (the paper's 16 cores)")
+		memBud  = flag.String("mem-budget", "", "resident-byte budget for the stream experiment, e.g. 4MiB (default: 1/4 of each dataset's CSR payload)")
 		verbose = flag.Bool("v", false, "log progress to stderr")
 	)
 	flag.Parse()
@@ -44,6 +46,14 @@ func main() {
 		BaselineWorkers: *workers,
 		Verbose:         *verbose,
 		Log:             os.Stderr,
+	}
+	if *memBud != "" {
+		b, err := dataset.ParseByteSize(*memBud)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "svmbench:", err)
+			os.Exit(2)
+		}
+		opts.MemBudget = b
 	}
 
 	var selected []bench.Experiment

@@ -27,6 +27,7 @@ func run() error {
 		scale   = flag.Float64("scale", 0.01, "fraction of the published sample count to generate")
 		out     = flag.String("out", "", "training-set output path (default <name>.train)")
 		testOut = flag.String("test-out", "", "testing-set output path (only for datasets with a test split)")
+		shards  = flag.Int("shards", 0, "write the training set as N shard files (<out>.NNN-of-NNN) whose concatenation is byte-identical to the single file; svmtrain -shards N loads them in parallel")
 		list    = flag.Bool("list", false, "list dataset specs and exit")
 	)
 	flag.Parse()
@@ -56,11 +57,19 @@ func run() error {
 	if path == "" {
 		path = *name + ".train"
 	}
-	if err := dataset.SaveLibsvmFile(path, ds.X, ds.Y); err != nil {
+	if *shards > 0 {
+		paths, err := dataset.WriteShards(path, ds.X, ds.Y, *shards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d training samples (%d features, %.2f%% dense) as %d shards %s .. %s\n",
+			ds.Train(), ds.X.Cols, 100*ds.X.Density(), len(paths), paths[0], paths[len(paths)-1])
+	} else if err := dataset.SaveLibsvmFile(path, ds.X, ds.Y); err != nil {
 		return err
+	} else {
+		fmt.Printf("wrote %d training samples (%d features, %.2f%% dense) to %s\n",
+			ds.Train(), ds.X.Cols, 100*ds.X.Density(), path)
 	}
-	fmt.Printf("wrote %d training samples (%d features, %.2f%% dense) to %s\n",
-		ds.Train(), ds.X.Cols, 100*ds.X.Density(), path)
 	if *testOut != "" {
 		if ds.TestX == nil {
 			return fmt.Errorf("dataset %s has no test split", *name)

@@ -42,7 +42,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -111,6 +114,10 @@ func run() error {
 		linVariant = flag.String("linear-variant", "dcd", `linear solver variant: "dcd" (dual coordinate descent, hinge) or "miso" (incremental primal, squared hinge)`)
 		linEpochs  = flag.Int("linear-epochs", 0, "linear solver epoch cap (0 = variant default)")
 		linNoShrnk = flag.Bool("linear-no-shrink", false, "disable active-set shrinking in the linear dcd variant")
+
+		streamLoad = flag.Bool("stream", false, "out-of-core load: parse -data in chunks, spill CSR blocks to a temp file, and train with resident memory bounded by -mem-budget (linear solver only; the model is bit-identical to the in-memory path)")
+		memBudget  = flag.String("mem-budget", "256MiB", "resident-block budget for -stream (e.g. 8388608, 64MiB, 1G)")
+		shards     = flag.Int("shards", 0, "load -data as N shards parsed in parallel: N byte ranges of one file, or N pre-split <data>.NNN-of-NNN files; the core solver trains one rank per shard (-shards must equal -p)")
 	)
 	flag.Parse()
 
@@ -147,6 +154,27 @@ func run() error {
 	} else if flagWasSet("linear-variant") || flagWasSet("linear-epochs") || flagWasSet("linear-no-shrink") {
 		return fmt.Errorf("-linear-* flags require -solver linear")
 	}
+	if *streamLoad {
+		if *solverSel != "linear" {
+			return fmt.Errorf("-stream requires -solver linear (the kernel engines need random access to every row; the linear solvers touch data row-at-a-time)")
+		}
+		if *dataPath == "" {
+			return fmt.Errorf("-stream requires -data (built-in datasets are generated in memory)")
+		}
+		if *shards > 0 {
+			return fmt.Errorf("-stream and -shards are mutually exclusive")
+		}
+	} else if flagWasSet("mem-budget") {
+		return fmt.Errorf("-mem-budget requires -stream")
+	}
+	if *shards > 0 {
+		if *dataPath == "" {
+			return fmt.Errorf("-shards requires -data")
+		}
+		if *solverSel == "core" && *shards != *p {
+			return fmt.Errorf("-solver core trains one rank per shard: -shards %d must equal -p %d", *shards, *p)
+		}
+	}
 
 	// An explicit -seed redraws built-in datasets from the same distribution
 	// with that seed; otherwise each spec's registered seed applies, keeping
@@ -155,9 +183,45 @@ func run() error {
 	if flagWasSet("seed") {
 		genSeed = *seed
 	}
-	x, y, cHyper, sigma2Hyper, err := loadData(*dataPath, *dsName, *dsScale, genSeed)
-	if err != nil {
-		return err
+	var (
+		x           *sparse.Matrix
+		y           []float64
+		oocX        *sparse.OOCMatrix
+		shardData   *core.ShardedData
+		cHyper      float64
+		sigma2Hyper float64
+		err         error
+	)
+	switch {
+	case *streamLoad:
+		budget, berr := dataset.ParseByteSize(*memBudget)
+		if berr != nil {
+			return berr
+		}
+		oocX, y, err = dataset.OpenOOC(*dataPath, dataset.OOCOptions{MemBudget: budget})
+		if err != nil {
+			return err
+		}
+		defer oocX.Close()
+	case *shards > 0 && *solverSel == "core":
+		// One rank per shard: parse in parallel, rebalance onto the solver's
+		// BlockRange boundaries, compose the dataset fingerprint.
+		shardData, err = core.LoadShardPartitions(*dataPath, *shards)
+		if err != nil {
+			return err
+		}
+		x, y = shardData.X, shardData.Y
+	case *shards > 0:
+		sh, serr := dataset.LoadSharded(*dataPath, *shards)
+		if serr != nil {
+			return serr
+		}
+		x, y = dataset.ConcatShards(sh)
+	default:
+		x, y, cHyper, sigma2Hyper, err = loadData(*dataPath, *dsName, *dsScale, genSeed)
+		if err != nil {
+			return err
+		}
 	}
 	if *dsName != "" {
 		// The built-in specs carry their Table III hyper-parameters;
@@ -229,7 +293,11 @@ func run() error {
 			cfg.InitialAlpha = resumeSt.Alpha
 		}
 		var st *core.Stats
-		m, st, _, err = core.TrainParallelOpts(x, y, *p, cfg, mpi.Options{Faults: faults})
+		if shardData != nil {
+			m, st, _, err = shardData.TrainOpts(cfg, mpi.Options{Faults: faults})
+		} else {
+			m, st, _, err = core.TrainParallelOpts(x, y, *p, cfg, mpi.Options{Faults: faults})
+		}
 		if err != nil {
 			return err
 		}
@@ -315,12 +383,28 @@ func run() error {
 			MaxEpochs: *linEpochs, Seed: *seed,
 			DisableShrink: *linNoShrnk,
 		}
-		linRes, err = linear.Train(x, y, cfg)
-		if err != nil {
-			return err
+		if oocX != nil {
+			// Out-of-core: same solver, row access served from the spill
+			// file's LRU. Training is deterministic in (data, seed), so the
+			// model is byte-identical to the in-memory path.
+			peak := startHeapSampler()
+			linRes, err = linear.Train(oocX, y, cfg)
+			peakHeap := peak()
+			if err != nil {
+				return err
+			}
+			loads, hits, evictions := oocX.Stats()
+			summary = fmt.Sprintf("stream: data=%s budget=%s peak-heap=%s blocks=%d loads=%d hits=%d evictions=%d\n  ",
+				dataset.FormatByteSize(oocX.ByteSize()), *memBudget,
+				dataset.FormatByteSize(int64(peakHeap)), oocX.Blocks(), loads, hits, evictions)
+		} else {
+			linRes, err = linear.Train(x, y, cfg)
+			if err != nil {
+				return err
+			}
 		}
 		m = linRes.Model
-		summary = fmt.Sprintf("variant=%s converged=%v epochs=%d updates=%d gap=%.3e nnz(w)=%d/%d",
+		summary += fmt.Sprintf("variant=%s converged=%v epochs=%d updates=%d gap=%.3e nnz(w)=%d/%d",
 			linVar, linRes.Converged, linRes.Epochs, linRes.Updates, linRes.Gap,
 			linRes.NNZ(), len(linRes.W))
 	}
@@ -328,11 +412,25 @@ func run() error {
 	if err := m.Save(*modelPath); err != nil {
 		return err
 	}
+	rows := 0
+	if x != nil {
+		rows = x.Rows()
+	} else if oocX != nil {
+		rows = oocX.Rows()
+	}
 	if !*quiet {
-		fmt.Printf("trained %d samples in %v: %s\n", x.Rows(), time.Since(start).Round(time.Millisecond), summary)
+		fmt.Printf("trained %d samples in %v: %s\n", rows, time.Since(start).Round(time.Millisecond), summary)
 		fmt.Printf("model written to %s\n", *modelPath)
 	}
 	if *verify {
+		if oocX != nil {
+			// The oracle recomputes objectives over every row; materialize
+			// the spilled matrix (verification is a deliberate exception to
+			// the memory budget).
+			if x, err = oocX.Materialize(); err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+		}
 		if linRes != nil {
 			loss := oracle.HingeLoss
 			if linVar == linear.MISO {
@@ -391,6 +489,38 @@ func validSolver(name string) bool {
 		}
 	}
 	return false
+}
+
+// startHeapSampler records the peak live heap until the returned stop
+// function is called. It exists to make the -stream promise observable: the
+// printed peak should track the -mem-budget, not the dataset size.
+func startHeapSampler() func() uint64 {
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return func() uint64 {
+		close(done)
+		wg.Wait()
+		return peak.Load()
+	}
 }
 
 func flagWasSet(name string) bool {

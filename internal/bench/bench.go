@@ -44,6 +44,9 @@ type Options struct {
 	// BaselineWorkers is the thread count for libsvm-enhanced; 0 means 16
 	// (the paper's one-node configuration).
 	BaselineWorkers int
+	// MemBudget is the resident-byte budget of the out-of-core stream
+	// experiment; 0 means a quarter of each dataset's CSR payload.
+	MemBudget int64
 	// Verbose enables progress logging to Log.
 	Verbose bool
 	// Log receives progress messages (defaults to io.Discard).
@@ -149,6 +152,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-wss", Title: "Ablation: working-set selection (max violating pair vs second-order)", Run: RunAblationWSS},
 		{ID: "dcsvm", Title: "Divide-and-conquer training vs exact full solves (wall-clock)", Run: RunDCSVM},
 		{ID: "linear", Title: "Linear fast path (explicit w) vs kernel engines on sparse text", Run: RunLinear},
+		{ID: "stream", Title: "Out-of-core streaming load vs in-memory (peak heap, parity)", Run: RunStream},
 		{ID: "oracle", Title: "Cross-solver correctness oracle: duality gap and KKT violations per engine", Run: RunOracle},
 		{ID: "serve", Title: "Serving throughput: coalescing, packed layout, and overload shedding", Run: RunServe},
 		{ID: "ckpt", Title: "Checkpoint overhead and resume cost per training engine", Run: RunCkpt},

@@ -100,33 +100,74 @@ type State struct {
 	Reconstructions int32
 }
 
-// Fingerprint returns a CRC-64 content hash of a training set: the CSR
-// structure and values of x plus the label vector. Two datasets fingerprint
-// equally exactly when their stored bytes are identical, which is the
-// resume-safety contract: a checkpoint's alpha vector is only meaningful
-// against the exact rows it was trained on.
-func Fingerprint(x *sparse.Matrix, y []float64) uint64 {
+// The dataset fingerprint is compositional: each row hashes independently
+// (bound to its global row index and label), a block of rows contributes the
+// wrapping sum of its row hashes, and the final fingerprint mixes the sum
+// with the global shape. Summation is associative, so ranks that load
+// disjoint shards compute partial sums independently and combine them in any
+// grouping — the result is identical to fingerprinting the whole dataset on
+// one node, for every shard count. Binding the global index into each row
+// hash keeps the commutative sum order-sensitive: moving a row changes its
+// hash, so permuted or shifted datasets do not collide.
+
+// RowFingerprint hashes one row of the dataset: its global (file-order)
+// index, its label, and its sparse content.
+func RowFingerprint(globalRow int, r sparse.Row, label float64) uint64 {
 	h := crc64.New(fpTable)
 	var b [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(b[:], v)
 		h.Write(b[:])
 	}
-	put(uint64(x.Rows()))
-	put(uint64(x.Cols))
-	for _, p := range x.RowPtr {
-		put(uint64(p))
-	}
-	for _, c := range x.ColIdx {
+	put(uint64(globalRow))
+	put(math.Float64bits(label))
+	put(uint64(len(r.Idx)))
+	for k, c := range r.Idx {
 		put(uint64(uint32(c)))
-	}
-	for _, v := range x.Val {
-		put(math.Float64bits(v))
-	}
-	for _, v := range y {
-		put(math.Float64bits(v))
+		put(math.Float64bits(r.Val[k]))
 	}
 	return h.Sum64()
+}
+
+// PartialFingerprint returns the fingerprint contribution of a row block
+// whose first row sits at global index lo: the wrapping sum of its row
+// hashes. Partials from disjoint blocks add (in any order or grouping) to
+// the whole dataset's partial.
+func PartialFingerprint(x sparse.RowMatrix, y []float64, lo int) uint64 {
+	var sum uint64
+	for i := 0; i < x.Rows(); i++ {
+		sum += RowFingerprint(lo+i, x.RowView(i), y[i])
+	}
+	return sum
+}
+
+// FinishFingerprint seals a summed partial with the global shape.
+func FinishFingerprint(rows, cols int, partial uint64) uint64 {
+	h := crc64.New(fpTable)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(rows))
+	put(uint64(cols))
+	put(partial)
+	return h.Sum64()
+}
+
+// FingerprintOf fingerprints any row-iterable training set — in-memory or
+// out-of-core — without materializing it.
+func FingerprintOf(x sparse.RowMatrix, y []float64) uint64 {
+	return FinishFingerprint(x.Rows(), x.Dim(), PartialFingerprint(x, y, 0))
+}
+
+// Fingerprint returns the content hash of a training set: row content,
+// labels, and shape. Two datasets fingerprint equally exactly when their
+// stored rows are identical, which is the resume-safety contract: a
+// checkpoint's alpha vector is only meaningful against the exact rows it
+// was trained on.
+func Fingerprint(x *sparse.Matrix, y []float64) uint64 {
+	return FingerprintOf(x, y)
 }
 
 // Matches validates a loaded state against the dataset a resume is about to
@@ -138,7 +179,17 @@ func (s *State) Matches(x *sparse.Matrix, y []float64) error {
 	if len(y) != x.Rows() {
 		return fmt.Errorf("ckpt: %d labels for %d rows", len(y), x.Rows())
 	}
-	if fp := Fingerprint(x, y); fp != s.Fingerprint {
+	return s.MatchesFingerprint(x.Rows(), Fingerprint(x, y))
+}
+
+// MatchesFingerprint is Matches for callers that composed the fingerprint
+// themselves — the sharded loader combines per-shard partials without ever
+// holding the dataset in one matrix.
+func (s *State) MatchesFingerprint(n int, fp uint64) error {
+	if s.N != n {
+		return fmt.Errorf("ckpt: checkpoint holds %d samples, dataset has %d", s.N, n)
+	}
+	if fp != s.Fingerprint {
 		return fmt.Errorf("ckpt: dataset fingerprint %016x does not match checkpoint fingerprint %016x — resumed data differs from the data the checkpoint was trained on", fp, s.Fingerprint)
 	}
 	return nil

@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseByteSize parses a human-readable byte count for -mem-budget-style
+// flags: a plain integer is bytes; K/M/G suffixes are binary multiples,
+// with optional "i" and/or "B" ("64M", "64MiB", "64mb" all parse to
+// 64 * 2^20).
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	t = strings.TrimSuffix(t, "B")
+	t = strings.TrimSuffix(t, "I")
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "K"):
+		shift, t = 10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		shift, t = 20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		shift, t = 30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("dataset: byte size %q (want e.g. 1048576, 64MiB, 1G)", s)
+	}
+	if n > (1<<62)>>shift {
+		return 0, fmt.Errorf("dataset: byte size %q overflows", s)
+	}
+	return n << shift, nil
+}
+
+// FormatByteSize renders a byte count the way ParseByteSize reads it.
+func FormatByteSize(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGiB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -129,17 +129,27 @@ func WriteLibsvm(w io.Writer, x *sparse.Matrix, y []float64) error {
 		return fmt.Errorf("libsvm: %d rows but %d labels", x.Rows(), len(y))
 	}
 	bw := bufio.NewWriter(w)
+	var scratch []byte
 	for i := 0; i < x.Rows(); i++ {
+		scratch = scratch[:0]
 		if y[i] > 0 {
-			fmt.Fprint(bw, "+1")
+			scratch = append(scratch, "+1"...)
 		} else {
-			fmt.Fprint(bw, "-1")
+			scratch = append(scratch, "-1"...)
 		}
 		r := x.RowView(i)
 		for k, c := range r.Idx {
-			fmt.Fprintf(bw, " %d:%v", c+1, r.Val[k])
+			scratch = append(scratch, ' ')
+			scratch = strconv.AppendInt(scratch, int64(c)+1, 10)
+			scratch = append(scratch, ':')
+			// Shortest representation that parses back to the exact float64,
+			// so a write/read round trip is bit-identical.
+			scratch = strconv.AppendFloat(scratch, r.Val[k], 'g', -1, 64)
 		}
-		fmt.Fprintln(bw)
+		scratch = append(scratch, '\n')
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

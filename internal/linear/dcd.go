@@ -19,16 +19,16 @@ import (
 // bound are shrunk out and only re-examined on the final full-set
 // verification pass, exactly as LIBLINEAR's Algorithm 3 does with its
 // (M-bar, m-bar) thresholds.
-func trainDCD(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
+func trainDCD(x sparse.RowMatrix, y []float64, cfg Config) (*Result, error) {
 	n := x.Rows()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	w := make([]float64, x.Cols)
+	w := make([]float64, x.Dim())
 	alpha := make([]float64, n)
 	// Q_ii = ||x_i||^2; a zero row has Q_ii = 0 and its closed-form step
 	// degenerates to a jump straight to the violated bound (the projected
 	// a - G/0 is +/-Inf, clipped to the box), which is the optimum for it.
-	qii := x.SquaredNorms()
+	qii := sparse.SquaredNormsOf(x)
 
 	active := make([]int, n)
 	for i := range active {
@@ -124,7 +124,7 @@ func trainDCD(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 	}
 
 	// Ship a drift-free w rebuilt from the final dual point.
-	res.W = rebuildW(x, y, alpha, x.Cols)
+	res.W = rebuildW(x, y, alpha, x.Dim())
 	res.Primal, res.Dual = hingeObjectives(x, y, res.W, alpha, cfg.C)
 	res.Gap = res.Primal - res.Dual
 	return res, nil

@@ -129,8 +129,10 @@ type Result struct {
 	Primal, Dual, Gap float64
 }
 
-func validate(x *sparse.Matrix, y []float64, cfg Config) error {
-	if x == nil || x.Rows() == 0 {
+func validate(x sparse.RowMatrix, y []float64, cfg Config) error {
+	// A nil *sparse.Matrix arrives as a non-nil interface; catch it before
+	// Rows dereferences it.
+	if m, ok := x.(*sparse.Matrix); x == nil || (ok && m == nil) || x.Rows() == 0 {
 		return fmt.Errorf("linear: empty training matrix")
 	}
 	if x.Rows() != len(y) {
@@ -154,7 +156,12 @@ func validate(x *sparse.Matrix, y []float64, cfg Config) error {
 // The returned model carries the dense weight vector (Model.W) and no
 // support vectors; its decision function is w'x (the bias-free LIBLINEAR
 // convention, Beta = 0).
-func Train(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
+//
+// x is any row-iterable matrix: the usual in-memory CSR, or an out-of-core
+// sparse.OOCMatrix when the dataset exceeds RAM. The solvers touch data
+// only row-at-a-time, and training is deterministic in (data, Config), so
+// the out-of-core path produces a byte-identical model.
+func Train(x sparse.RowMatrix, y []float64, cfg Config) (*Result, error) {
 	if err := validate(x, y, cfg); err != nil {
 		return nil, err
 	}
@@ -186,7 +193,7 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 // numerical stability" recompute the MISO exemplar performs). The returned
 // vector is what the model ships and what the oracle's w-consistency check
 // reproduces, in the same row order.
-func rebuildW(x *sparse.Matrix, y, alpha []float64, dim int) []float64 {
+func rebuildW(x sparse.RowMatrix, y, alpha []float64, dim int) []float64 {
 	w := make([]float64, dim)
 	for i, a := range alpha {
 		if a != 0 {
@@ -200,7 +207,7 @@ func rebuildW(x *sparse.Matrix, y, alpha []float64, dim int) []float64 {
 //
 //	P(w) = 1/2 ||w||^2 + C sum_i max(0, 1 - y_i w'x_i)
 //	D(a) = sum_i a_i - 1/2 ||w||^2
-func hingeObjectives(x *sparse.Matrix, y, w, alpha []float64, c float64) (primal, dual float64) {
+func hingeObjectives(x sparse.RowMatrix, y, w, alpha []float64, c float64) (primal, dual float64) {
 	var wNorm2 float64
 	for _, v := range w {
 		wNorm2 += v * v
@@ -221,7 +228,7 @@ func hingeObjectives(x *sparse.Matrix, y, w, alpha []float64, c float64) (primal
 //
 //	P(w) = 1/2 ||w||^2 + C/2 sum_i max(0, 1 - y_i w'x_i)^2
 //	D(a) = sum_i a_i - 1/2 ||w||^2 - 1/(2C) sum_i a_i^2
-func squaredHingeObjectives(x *sparse.Matrix, y, w, alpha []float64, c float64) (primal, dual float64) {
+func squaredHingeObjectives(x sparse.RowMatrix, y, w, alpha []float64, c float64) (primal, dual float64) {
 	var wNorm2 float64
 	for _, v := range w {
 		wNorm2 += v * v

@@ -24,12 +24,12 @@ import (
 // the true duality gap is evaluated; the run stops when the scaled gap
 // drops below Eps (equivalently, the unscaled gap below Eps*C*n) or the
 // dual stops improving.
-func trainMISO(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
+func trainMISO(x sparse.RowMatrix, y []float64, cfg Config) (*Result, error) {
 	n := x.Rows()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	lambda := 1 / (cfg.C * float64(n))
-	norms := x.SquaredNorms()
+	norms := sparse.SquaredNormsOf(x)
 	var r float64
 	for _, v := range norms {
 		r += v
@@ -38,7 +38,7 @@ func trainMISO(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 	l := r + lambda
 	delta := float64(n) * math.Min(1/float64(n), lambda/(2*l))
 
-	w := make([]float64, x.Cols)
+	w := make([]float64, x.Dim())
 	// ab is the exemplar's alpha: w = sum_i ab_i x_i / n. The repository
 	// convention's dual point is a_i = y_i*ab_i/n >= 0.
 	ab := make([]float64, n)
@@ -63,7 +63,7 @@ func trainMISO(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 		alpha := scaleDual(ab, y, n)
 		// Periodic drift-free recompute, as the exemplar does before each
 		// objective evaluation.
-		w = rebuildMISOW(x, ab, x.Cols)
+		w = rebuildMISOW(x, ab, x.Dim())
 		primal, dual := squaredHingeObjectives(x, y, w, alpha, cfg.C)
 		res.Primal, res.Dual, res.Gap = primal, dual, primal-dual
 		if res.Gap < tol {
@@ -80,7 +80,7 @@ func trainMISO(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 	}
 
 	res.Alpha = scaleDual(ab, y, n)
-	res.W = rebuildW(x, y, res.Alpha, x.Cols)
+	res.W = rebuildW(x, y, res.Alpha, x.Dim())
 	res.Primal, res.Dual = squaredHingeObjectives(x, y, res.W, res.Alpha, cfg.C)
 	res.Gap = res.Primal - res.Dual
 	res.Converged = res.Converged || res.Gap < tol
@@ -103,7 +103,7 @@ func scaleDual(ab, y []float64, n int) []float64 {
 }
 
 // rebuildMISOW recomputes w = sum_i ab_i x_i / n from scratch.
-func rebuildMISOW(x *sparse.Matrix, ab []float64, dim int) []float64 {
+func rebuildMISOW(x sparse.RowMatrix, ab []float64, dim int) []float64 {
 	w := make([]float64, dim)
 	n := float64(len(ab))
 	for i, v := range ab {

@@ -32,8 +32,26 @@ type Row struct {
 	Val []float64
 }
 
+// RowMatrix is the read-only row-access surface shared by the in-memory
+// Matrix and the out-of-core OOCMatrix. Solvers whose data access is
+// row-at-a-time (the linear fast path) accept this interface, so the same
+// training code runs over fully-resident CSR and over spilled row blocks.
+type RowMatrix interface {
+	// Rows returns the number of rows (samples).
+	Rows() int
+	// Dim returns the number of columns (features).
+	Dim() int
+	// RowView returns a view of row i. The slices must be treated as
+	// immutable; they may alias internal storage that outlives the call.
+	RowView(i int) Row
+}
+
 // Rows returns the number of rows (samples).
 func (m *Matrix) Rows() int { return len(m.RowPtr) - 1 }
+
+// Dim returns the number of columns; it is Cols as a method so *Matrix
+// satisfies RowMatrix.
+func (m *Matrix) Dim() int { return m.Cols }
 
 // NNZ returns the number of stored entries.
 func (m *Matrix) NNZ() int { return len(m.Val) }
@@ -192,6 +210,22 @@ func (m *Matrix) SquaredNorms() []float64 {
 	out := make([]float64, m.Rows())
 	for i := range out {
 		out[i] = m.SquaredNorm(i)
+	}
+	return out
+}
+
+// SquaredNormsOf is SquaredNorms over any RowMatrix: one sequential pass,
+// so an out-of-core matrix streams each block exactly once. On a *Matrix it
+// produces bit-identical values to SquaredNorms.
+func SquaredNormsOf(m RowMatrix) []float64 {
+	out := make([]float64, m.Rows())
+	for i := range out {
+		var s float64
+		r := m.RowView(i)
+		for _, v := range r.Val {
+			s += v * v
+		}
+		out[i] = s
 	}
 	return out
 }

@@ -1,0 +1,336 @@
+package sparse
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Out-of-core CSR: the paper's headline runs are at millions of rows, where
+// the training matrix no longer fits a node's RAM — exactly the "more RAM is
+// the binding constraint" observation of the large-scale-SVM literature. An
+// OOCMatrix keeps the CSR payload in contiguous row blocks spilled to one
+// unnamed temp file and caches a byte-budgeted LRU of resident blocks, so a
+// solver whose access pattern is row-at-a-time (sparse.RowMatrix) trains
+// with peak memory proportional to the budget, not the dataset.
+//
+// Blocks are written once by an OOCWriter (the streaming libsvm parser
+// appends each parsed block as it comes off the wire) and are immutable
+// afterwards; eviction simply drops the cache reference, so row views handed
+// out earlier stay valid — the garbage collector keeps their backing block
+// alive until the caller lets go.
+
+// blockMeta locates one spilled row block inside the spill file.
+type blockMeta struct {
+	off      int64 // file offset of the encoded block payload
+	startRow int   // global index of the block's first row
+	rows     int
+	nnz      int64
+}
+
+// payloadBytes is the encoded (and in-memory) size of the block:
+// (rows+1) relative row pointers, nnz column indices, nnz values.
+func (b blockMeta) payloadBytes() int64 {
+	return 8*int64(b.rows+1) + 12*b.nnz
+}
+
+// OOCWriter builds an OOCMatrix by appending row blocks in global row
+// order. It is not safe for concurrent use.
+type OOCWriter struct {
+	f       *os.File
+	path    string
+	blocks  []blockMeta
+	rows    int
+	cols    int
+	budget  int64
+	off     int64
+	scratch []byte
+}
+
+// NewOOCWriter creates a spill file in dir (or the default temp directory
+// when dir is empty) and returns a writer over it. budgetBytes is the
+// resident-block budget the finished matrix will enforce; <= 0 means one
+// block at a time.
+func NewOOCWriter(dir string, budgetBytes int64) (*OOCWriter, error) {
+	f, err := os.CreateTemp(dir, "svm-ooc-*.spill")
+	if err != nil {
+		return nil, fmt.Errorf("sparse: ooc spill file: %w", err)
+	}
+	return &OOCWriter{f: f, path: f.Name(), budget: budgetBytes}, nil
+}
+
+// AppendBlock encodes x as the next row block. The block's rows follow the
+// rows appended so far; Cols of the finished matrix is the maximum over all
+// blocks (callers with a declared dimensionality can widen it via Finish).
+func (w *OOCWriter) AppendBlock(x *Matrix) error {
+	if x.Rows() == 0 {
+		return nil
+	}
+	// The block's entry count comes from the row pointers, not len(Val):
+	// a RowRangeView shares the parent's payload slices, and only the
+	// pointer span tells how much of them the view actually covers.
+	base := x.RowPtr[0]
+	meta := blockMeta{off: w.off, startRow: w.rows, rows: x.Rows(), nnz: x.RowPtr[x.Rows()] - base}
+	need := meta.payloadBytes()
+	if int64(cap(w.scratch)) < need {
+		w.scratch = make([]byte, need)
+	}
+	buf := w.scratch[:need]
+	o := 0
+	for _, p := range x.RowPtr {
+		binary.LittleEndian.PutUint64(buf[o:], uint64(p-base))
+		o += 8
+	}
+	for _, c := range x.ColIdx[base : base+meta.nnz] {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(c))
+		o += 4
+	}
+	for _, v := range x.Val[base : base+meta.nnz] {
+		binary.LittleEndian.PutUint64(buf[o:], math.Float64bits(v))
+		o += 8
+	}
+	if _, err := w.f.WriteAt(buf, meta.off); err != nil {
+		return fmt.Errorf("sparse: ooc spill write: %w", err)
+	}
+	w.off += need
+	w.rows += meta.rows
+	if x.Cols > w.cols {
+		w.cols = x.Cols
+	}
+	w.blocks = append(w.blocks, meta)
+	return nil
+}
+
+// Finish seals the writer and returns the matrix over the spilled blocks.
+// cols widens the declared dimensionality when positive (a dataset's header
+// may declare more features than the spilled rows touch); the writer must
+// not be used afterwards.
+func (w *OOCWriter) Finish(cols int) (*OOCMatrix, error) {
+	if w.rows == 0 {
+		w.Abort()
+		return nil, fmt.Errorf("sparse: ooc matrix has no rows")
+	}
+	if cols > w.cols {
+		w.cols = cols
+	}
+	m := &OOCMatrix{
+		f: w.f, path: w.path, blocks: w.blocks,
+		rows: w.rows, cols: w.cols, budget: w.budget,
+		resident: make(map[int]*list.Element), ll: list.New(),
+	}
+	w.f = nil
+	return m, nil
+}
+
+// Abort discards the spill file; safe to call after a failed build.
+func (w *OOCWriter) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		os.Remove(w.path)
+		w.f = nil
+	}
+}
+
+// residentBlock is one cached decoded block.
+type residentBlock struct {
+	idx   int
+	m     *Matrix
+	bytes int64
+}
+
+// OOCMatrix is a read-only CSR matrix whose row blocks live in a spill file
+// with an LRU of resident decoded blocks. It satisfies RowMatrix. All
+// methods are safe for concurrent use; RowView panics if the spill file has
+// become unreadable (it is process-private and unmodified after Finish, so
+// a read failure is an environment failure, not a recoverable condition).
+type OOCMatrix struct {
+	mu            sync.Mutex
+	f             *os.File
+	path          string
+	blocks        []blockMeta
+	rows, cols    int
+	budget        int64
+	resident      map[int]*list.Element
+	ll            *list.List // front = most recently used
+	residentBytes int64
+	loads         uint64
+	hits          uint64
+	evictions     uint64
+	closed        bool
+}
+
+// Rows returns the number of rows.
+func (m *OOCMatrix) Rows() int { return m.rows }
+
+// Dim returns the number of columns.
+func (m *OOCMatrix) Dim() int { return m.cols }
+
+// Blocks returns the number of spilled row blocks.
+func (m *OOCMatrix) Blocks() int { return len(m.blocks) }
+
+// ByteSize reports the total encoded payload across all blocks — the
+// in-memory cost a fully-resident load would pay.
+func (m *OOCMatrix) ByteSize() int64 {
+	var s int64
+	for _, b := range m.blocks {
+		s += b.payloadBytes()
+	}
+	return s
+}
+
+// Stats reports cache behaviour since creation: block loads from disk,
+// in-cache hits, and evictions.
+func (m *OOCMatrix) Stats() (loads, hits, evictions uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loads, m.hits, m.evictions
+}
+
+// ResidentBytes reports the decoded bytes currently held by the LRU.
+func (m *OOCMatrix) ResidentBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.residentBytes
+}
+
+// blockFor returns the index of the block holding global row i.
+func (m *OOCMatrix) blockFor(i int) int {
+	// First block whose startRow exceeds i, minus one.
+	return sort.Search(len(m.blocks), func(k int) bool { return m.blocks[k].startRow > i }) - 1
+}
+
+// RowView returns a view of global row i. The returned slices alias the
+// resident block; they stay valid after the block is evicted (the cache
+// drops its reference, the memory survives until the caller's view does).
+func (m *OOCMatrix) RowView(i int) Row {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("sparse: ooc RowView(%d) out of range for %d rows", i, m.rows))
+	}
+	bi := m.blockFor(i)
+	blk := m.block(bi)
+	return blk.RowView(i - m.blocks[bi].startRow)
+}
+
+// block returns the decoded block bi, loading and caching it if needed.
+func (m *OOCMatrix) block(bi int) *Matrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		panic("sparse: ooc matrix used after Close")
+	}
+	if el, ok := m.resident[bi]; ok {
+		m.hits++
+		m.ll.MoveToFront(el)
+		return el.Value.(*residentBlock).m
+	}
+	blk, err := m.readBlock(bi)
+	if err != nil {
+		panic(fmt.Sprintf("sparse: ooc block %d: %v", bi, err))
+	}
+	m.loads++
+	rb := &residentBlock{idx: bi, m: blk, bytes: m.blocks[bi].payloadBytes()}
+	m.resident[bi] = m.ll.PushFront(rb)
+	m.residentBytes += rb.bytes
+	// Evict past the budget, but never the block just loaded: with a budget
+	// smaller than one block the cache degrades to block-at-a-time.
+	for m.residentBytes > m.budget && m.ll.Len() > 1 {
+		el := m.ll.Back()
+		old := el.Value.(*residentBlock)
+		m.ll.Remove(el)
+		delete(m.resident, old.idx)
+		m.residentBytes -= old.bytes
+		m.evictions++
+	}
+	return blk
+}
+
+// readBlock decodes block bi from the spill file.
+func (m *OOCMatrix) readBlock(bi int) (*Matrix, error) {
+	meta := m.blocks[bi]
+	buf := make([]byte, meta.payloadBytes())
+	if _, err := m.f.ReadAt(buf, meta.off); err != nil {
+		return nil, err
+	}
+	blk := &Matrix{
+		RowPtr: make([]int64, meta.rows+1),
+		ColIdx: make([]int32, meta.nnz),
+		Val:    make([]float64, meta.nnz),
+		Cols:   m.cols,
+	}
+	o := 0
+	for k := range blk.RowPtr {
+		blk.RowPtr[k] = int64(binary.LittleEndian.Uint64(buf[o:]))
+		o += 8
+	}
+	for k := range blk.ColIdx {
+		blk.ColIdx[k] = int32(binary.LittleEndian.Uint32(buf[o:]))
+		o += 4
+	}
+	for k := range blk.Val {
+		blk.Val[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[o:]))
+		o += 8
+	}
+	return blk, nil
+}
+
+// Materialize loads every block and splices one fully-resident Matrix —
+// deliberately unbounded, for verification and tests that need the whole
+// dataset (the oracle recomputes objectives over all rows). The LRU cache
+// is bypassed so materializing does not disturb a training run's residency.
+func (m *OOCMatrix) Materialize() (*Matrix, error) {
+	var nnz int64
+	for _, b := range m.blocks {
+		nnz += b.nnz
+	}
+	out := &Matrix{
+		RowPtr: make([]int64, 1, m.rows+1),
+		ColIdx: make([]int32, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+		Cols:   m.cols,
+	}
+	for bi := range m.blocks {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("sparse: ooc matrix used after Close")
+		}
+		blk, err := m.readBlock(bi)
+		m.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("sparse: ooc block %d: %w", bi, err)
+		}
+		base := int64(len(out.Val))
+		for k := 1; k <= blk.Rows(); k++ {
+			out.RowPtr = append(out.RowPtr, base+blk.RowPtr[k])
+		}
+		out.ColIdx = append(out.ColIdx, blk.ColIdx...)
+		out.Val = append(out.Val, blk.Val...)
+	}
+	return out, nil
+}
+
+// Close drops the resident cache and removes the spill file. The matrix
+// must not be used afterwards.
+func (m *OOCMatrix) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.resident = nil
+	m.ll = nil
+	m.residentBytes = 0
+	err := m.f.Close()
+	if rmErr := os.Remove(m.path); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// SpillPath returns the path of the spill file (tests only).
+func (m *OOCMatrix) SpillPath() string { return m.path }

@@ -1,0 +1,238 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+)
+
+// randomCSR builds a random sparse matrix with the given shape.
+func randomCSR(t *testing.T, rows, cols int, density float64, seed int64) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				b.Add(j, rng.NormFloat64())
+			}
+		}
+		b.EndRow()
+	}
+	m := b.Build()
+	m.Cols = cols
+	return m
+}
+
+// spill writes m into an OOCMatrix in blocks of blockRows under the budget.
+func spill(t *testing.T, m *Matrix, blockRows int, budget int64) *OOCMatrix {
+	t.Helper()
+	w, err := NewOOCWriter(t.TempDir(), budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < m.Rows(); lo += blockRows {
+		hi := min(lo+blockRows, m.Rows())
+		blk, err := m.RowRangeView(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendBlock(blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ooc, err := w.Finish(m.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ooc.Close() })
+	return ooc
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a.Idx) != len(b.Idx) {
+		return false
+	}
+	for k := range a.Idx {
+		if a.Idx[k] != b.Idx[k] || math.Float64bits(a.Val[k]) != math.Float64bits(b.Val[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOOCRowParity checks every row of the spilled matrix against the
+// in-memory original across block sizes and budgets, including budgets far
+// smaller than the payload (forcing evictions on every pass).
+func TestOOCRowParity(t *testing.T) {
+	m := randomCSR(t, 237, 40, 0.15, 1)
+	for _, blockRows := range []int{1, 7, 64, 1000} {
+		for _, budget := range []int64{0, 4 << 10, 1 << 30} {
+			ooc := spill(t, m, blockRows, budget)
+			if ooc.Rows() != m.Rows() || ooc.Dim() != m.Cols {
+				t.Fatalf("blockRows=%d: shape %dx%d, want %dx%d",
+					blockRows, ooc.Rows(), ooc.Dim(), m.Rows(), m.Cols)
+			}
+			// Two passes: cold, then again so the LRU is exercised with and
+			// without residency.
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < m.Rows(); i++ {
+					if !rowsEqual(m.RowView(i), ooc.RowView(i)) {
+						t.Fatalf("blockRows=%d budget=%d pass=%d: row %d differs",
+							blockRows, budget, pass, i)
+					}
+				}
+			}
+			loads, hits, _ := ooc.Stats()
+			if loads == 0 {
+				t.Fatalf("blockRows=%d budget=%d: no block loads recorded", blockRows, budget)
+			}
+			if budget == 1<<30 && hits == 0 && ooc.Blocks() > 0 {
+				t.Fatalf("blockRows=%d: unlimited budget recorded no hits", blockRows)
+			}
+		}
+	}
+}
+
+// TestOOCBudgetBoundsResidency asserts the eviction invariant: the resident
+// set never exceeds max(budget, largest single block).
+func TestOOCBudgetBoundsResidency(t *testing.T) {
+	m := randomCSR(t, 400, 60, 0.2, 2)
+	const blockRows = 32
+	var maxBlock int64
+	for lo := 0; lo < m.Rows(); lo += blockRows {
+		hi := min(lo+blockRows, m.Rows())
+		nnz := m.RowPtr[hi] - m.RowPtr[lo]
+		if b := 8*int64(hi-lo+1) + 12*nnz; b > maxBlock {
+			maxBlock = b
+		}
+	}
+	budget := 3 * maxBlock / 2
+	ooc := spill(t, m, blockRows, budget)
+	rng := rand.New(rand.NewSource(3))
+	for k := 0; k < 5000; k++ {
+		i := rng.Intn(m.Rows())
+		ooc.RowView(i)
+		if r := ooc.ResidentBytes(); r > budget && r > maxBlock {
+			t.Fatalf("resident %d exceeds budget %d and max block %d", r, budget, maxBlock)
+		}
+	}
+	if _, _, ev := ooc.Stats(); ev == 0 {
+		t.Fatal("random access under a tight budget recorded no evictions")
+	}
+}
+
+// TestOOCMaterialize checks the spliced full matrix is bit-identical to the
+// original, including structural validation.
+func TestOOCMaterialize(t *testing.T) {
+	m := randomCSR(t, 123, 31, 0.25, 4)
+	ooc := spill(t, m, 17, 1<<20)
+	got, err := ooc.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != m.Rows() || got.Cols != m.Cols || got.NNZ() != m.NNZ() {
+		t.Fatalf("shape/nnz mismatch: %dx%d/%d vs %dx%d/%d",
+			got.Rows(), got.Cols, got.NNZ(), m.Rows(), m.Cols, m.NNZ())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		if !rowsEqual(m.RowView(i), got.RowView(i)) {
+			t.Fatalf("row %d differs after materialize", i)
+		}
+	}
+}
+
+// TestOOCSquaredNorms checks the generic norm pass matches the in-memory
+// method bit-for-bit (the linear solver's q_ii depends on it).
+func TestOOCSquaredNorms(t *testing.T) {
+	m := randomCSR(t, 90, 25, 0.3, 5)
+	ooc := spill(t, m, 11, 0)
+	want := m.SquaredNorms()
+	got := SquaredNormsOf(ooc)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("norm %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if gm := SquaredNormsOf(m); math.Float64bits(gm[7]) != math.Float64bits(want[7]) {
+		t.Fatal("SquaredNormsOf(Matrix) diverges from SquaredNorms")
+	}
+}
+
+// TestOOCConcurrentReads hammers RowView from many goroutines under a tight
+// budget; run with -race this proves eviction never invalidates a view.
+func TestOOCConcurrentReads(t *testing.T) {
+	m := randomCSR(t, 256, 30, 0.2, 6)
+	ooc := spill(t, m, 16, 2<<10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				i := rng.Intn(m.Rows())
+				r := ooc.RowView(i)
+				if !rowsEqual(m.RowView(i), r) {
+					t.Errorf("goroutine %d: row %d differs", seed, i)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}
+
+// TestOOCClose checks Close removes the spill file and further use panics.
+func TestOOCClose(t *testing.T) {
+	m := randomCSR(t, 20, 10, 0.5, 7)
+	w, err := NewOOCWriter(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBlock(m); err != nil {
+		t.Fatal(err)
+	}
+	ooc, err := w.Finish(m.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ooc.SpillPath()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("spill file missing before Close: %v", err)
+	}
+	if err := ooc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ooc.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("spill file still present after Close: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RowView after Close did not panic")
+		}
+	}()
+	ooc.RowView(0)
+}
+
+// TestOOCEmpty checks a writer with no rows fails cleanly.
+func TestOOCEmpty(t *testing.T) {
+	w, err := NewOOCWriter(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Finish(0); err == nil {
+		t.Fatal("Finish with no rows succeeded")
+	}
+}
