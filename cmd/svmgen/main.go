@@ -29,8 +29,19 @@ func run() error {
 		testOut = flag.String("test-out", "", "testing-set output path (only for datasets with a test split)")
 		shards  = flag.Int("shards", 0, "write the training set as N shard files (<out>.NNN-of-NNN) whose concatenation is byte-identical to the single file; svmtrain -shards N loads them in parallel")
 		list    = flag.Bool("list", false, "list dataset specs and exit")
+
+		task        = flag.String("task", "", "generate task-variant data instead of a named dataset: svr (continuous regression targets) or oneclass (inlier blob with planted outliers)")
+		n           = flag.Int("n", 1000, "sample count for -task modes")
+		dim         = flag.Int("dim", 8, "feature dimension for -task modes")
+		noise       = flag.Float64("noise", 0.05, "target noise sigma for -task svr")
+		outlierFrac = flag.Float64("outlier-frac", 0.05, "planted anomaly fraction for -task oneclass")
+		seed        = flag.Int64("seed", 1, "RNG seed for -task modes")
 	)
 	flag.Parse()
+
+	if *task != "" {
+		return runTask(*task, *n, *dim, *noise, *outlierFrac, *seed, *out)
+	}
 
 	if *list {
 		fmt.Printf("%-10s %9s %9s %7s %8s %7s %3s %8s\n",
@@ -80,5 +91,45 @@ func run() error {
 		fmt.Printf("wrote %d testing samples to %s\n", ds.Test(), *testOut)
 	}
 	fmt.Printf("suggested hyper-parameters (Table III): -c %g -sigma2 %g\n", ds.C, ds.Sigma2)
+	return nil
+}
+
+// runTask emits seeded task-variant data: SVR sets carry continuous targets
+// (written with the value-preserving libsvm variant), one-class sets carry
+// ground-truth +1/-1 anomaly annotations the trainer ignores.
+func runTask(task string, n, dim int, noise, outlierFrac float64, seed int64, out string) error {
+	if out == "" {
+		out = task + ".train"
+	}
+	switch task {
+	case "svr":
+		x, z, err := dataset.GenerateRegression(n, dim, noise, seed)
+		if err != nil {
+			return err
+		}
+		if err := dataset.SaveLibsvmValuesFile(out, x, z); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d regression samples (%d features, noise %g, seed %d) to %s\n",
+			n, dim, noise, seed, out)
+	case "oneclass":
+		x, y, err := dataset.GenerateOneClass(n, dim, outlierFrac, seed)
+		if err != nil {
+			return err
+		}
+		if err := dataset.SaveLibsvmFile(out, x, y); err != nil {
+			return err
+		}
+		nOut := 0
+		for _, v := range y {
+			if v < 0 {
+				nOut++
+			}
+		}
+		fmt.Printf("wrote %d samples (%d features, %d planted outliers, seed %d) to %s\n",
+			n, dim, nOut, seed, out)
+	default:
+		return fmt.Errorf("unknown -task %q (want svr or oneclass)", task)
+	}
 	return nil
 }

@@ -4,6 +4,14 @@
 //	svmserve -addr :8080 -model svm.model
 //	svmserve -model fraud=fraud.model -model spam=spam.model
 //
+// All task kinds serve: classifiers, epsilon-SVR regressors (labels are
+// the regression value), and one-class detectors (labels are the +/-1
+// inlier verdict); responses carry the task so clients decode labels
+// correctly. Each endpoint's task kind is pinned at startup — reloading,
+// say, an SVR file into a classifier endpoint is rejected and the previous
+// snapshot keeps serving, so incremental updates (svmtrain -update-from)
+// hot-reload safely in place.
+//
 // Endpoints:
 //
 //	POST /v1/predict                 JSON or libsvm rows, single or batch

@@ -28,6 +28,17 @@
 //
 //	svmtrain -dataset blobs -dataset-scale 0.5 -verify
 //
+// The -task flag switches to a task variant solved by the generalized SMO
+// engine: "svr" trains epsilon-SVR on continuous -data labels, "oneclass"
+// trains a nu one-class detector (labels ignored). -update-from performs an
+// incremental warm-start update of an existing model (any task kind) on its
+// training rows plus appended rows; -verify routes each task through its
+// own oracle verifier:
+//
+//	svmtrain -task svr -data reg.train -c 10 -svr-epsilon 0.1 -verify
+//	svmtrain -task oneclass -data mix.train -nu 0.1 -verify
+//	svmtrain -update-from svm.model -data grown.train -verify
+//
 // With -checkpoint-dir the run periodically writes a crash-consistent
 // checkpoint (two generations are retained); a later invocation with the
 // same data and -resume warm-starts from the newest valid snapshot. The
@@ -61,6 +72,7 @@ import (
 	"repro/internal/probability"
 	"repro/internal/smo"
 	"repro/internal/sparse"
+	"repro/internal/tasks"
 )
 
 var solverNames = []string{"core", "smo", "dc", "linear"}
@@ -115,6 +127,11 @@ func run() error {
 		linEpochs  = flag.Int("linear-epochs", 0, "linear solver epoch cap (0 = variant default)")
 		linNoShrnk = flag.Bool("linear-no-shrink", false, "disable active-set shrinking in the linear dcd variant")
 
+		taskSel    = flag.String("task", "", `task variant: "svr" (epsilon-SVR regression) or "oneclass" (nu one-class anomaly detection); empty = binary classification. Task models train with the generalized SMO engine; -data labels are regression targets for svr and ignored for oneclass`)
+		svrEps     = flag.Float64("svr-epsilon", 0.1, "epsilon tube half-width (-task svr)")
+		nuParam    = flag.Float64("nu", 0.5, "nu in (0, 1]: upper bound on the training outlier fraction (-task oneclass)")
+		updateFrom = flag.String("update-from", "", "incremental update: warm-start from this base model's recovered dual point; -data must hold the base training rows followed by the appended rows (any task kind, including classifiers)")
+
 		streamLoad = flag.Bool("stream", false, "out-of-core load: parse -data in chunks, spill CSR blocks to a temp file, and train with resident memory bounded by -mem-budget (linear solver only; the model is bit-identical to the in-memory path)")
 		memBudget  = flag.String("mem-budget", "256MiB", "resident-block budget for -stream (e.g. 8388608, 64MiB, 1G)")
 		shards     = flag.Int("shards", 0, "load -data as N shards parsed in parallel: N byte ranges of one file, or N pre-split <data>.NNN-of-NNN files; the core solver trains one rank per shard (-shards must equal -p)")
@@ -125,6 +142,28 @@ func run() error {
 	// milliseconds, not after a multi-minute load.
 	if !validSolver(*solverSel) {
 		return fmt.Errorf("unknown -solver %q (valid: %s)", *solverSel, strings.Join(solverNames, ", "))
+	}
+	if *taskSel != "" || *updateFrom != "" {
+		// Task variants and incremental updates route through internal/tasks
+		// (the generalized SMO engine); the distributed/dc/linear machinery
+		// and the classifier-only extras do not apply.
+		for _, f := range []string{"solver", "dataset", "probability", "stream", "shards", "trace", "resume", "p", "heuristic"} {
+			if flagWasSet(f) {
+				return fmt.Errorf("-%s does not apply to -task/-update-from runs", f)
+			}
+		}
+		if *dataPath == "" {
+			return fmt.Errorf("-task/-update-from requires -data")
+		}
+		return runTaskMode(taskModeOpts{
+			task: *taskSel, dataPath: *dataPath, modelPath: *modelPath, updateFrom: *updateFrom,
+			kern: *kern, gamma: *gamma, sigma2: *sigma2, coef0: *coef0, degree: *degree,
+			c: *c, svrEpsilon: *svrEps, nu: *nuParam, eps: *eps, workers: *workers,
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery, ckptMinGap: *ckptMinGap,
+			verify: *verify, quiet: *quiet,
+		})
+	} else if flagWasSet("svr-epsilon") || flagWasSet("nu") {
+		return fmt.Errorf("-svr-epsilon/-nu require -task")
 	}
 	var h core.Heuristic
 	if *solverSel == "core" || *solverSel == "dc" {
@@ -449,6 +488,140 @@ func run() error {
 		}
 		prob := oracle.Problem{X: x, Y: y, Kernel: kp, C: *c, Eps: *eps}
 		rep, err := prob.VerifyModel(m)
+		if err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+		fmt.Println(rep)
+		if err := rep.Check(); err != nil {
+			return fmt.Errorf("verify: %w", err)
+		}
+	}
+	return nil
+}
+
+// taskModeOpts carries the flag values the task-variant path consumes.
+type taskModeOpts struct {
+	task, dataPath, modelPath, updateFrom string
+	kern                                  string
+	gamma, sigma2, coef0                  float64
+	degree                                int
+	c, svrEpsilon, nu, eps                float64
+	workers                               int
+	ckptDir                               string
+	ckptEvery                             int64
+	ckptMinGap                            time.Duration
+	verify, quiet                         bool
+}
+
+// runTaskMode trains (or incrementally updates) an epsilon-SVR, one-class,
+// or — for updates — classifier model through internal/tasks, and routes
+// -verify through the matching oracle verifier.
+func runTaskMode(o taskModeOpts) error {
+	// Labels are loaded verbatim: SVR targets are continuous and must not be
+	// clamped to +/-1 the way the classifier reader does.
+	x, labels, err := dataset.LoadLibsvmValuesFile(o.dataPath)
+	if err != nil {
+		return err
+	}
+
+	kt, err := kernel.ParseType(o.kern)
+	if err != nil {
+		return err
+	}
+	kp := kernel.Params{Type: kt, Gamma: o.gamma, Coef0: o.coef0, Degree: o.degree}
+	if kt == kernel.Gaussian && o.gamma <= 0 {
+		kp = kernel.FromSigma2(o.sigma2)
+	}
+
+	cfg := tasks.Config{
+		Kernel: kp, Eps: o.eps, Workers: o.workers,
+		CacheBytes: 1 << 30, Shrinking: true, SecondOrder: true,
+	}
+	if o.ckptDir != "" {
+		w, err := ckpt.NewWriter(o.ckptDir)
+		if err != nil {
+			return err
+		}
+		w.SetMinInterval(o.ckptMinGap)
+		cfg.Checkpoint = w
+		cfg.CheckpointEvery = o.ckptEvery
+	}
+
+	start := time.Now()
+	var res *tasks.Result
+	switch {
+	case o.updateFrom != "":
+		base, err := model.Load(o.updateFrom)
+		if err != nil {
+			return fmt.Errorf("update base: %w", err)
+		}
+		if o.task != "" {
+			want := map[string]model.Task{"svr": model.TaskSVR, "oneclass": model.TaskOneClass}[o.task]
+			if base.TaskKind() != want {
+				return fmt.Errorf("-task %s but base model %s is %s", o.task, o.updateFrom, base.TaskKind())
+			}
+		}
+		if base.TaskKind() == model.TaskCSVC {
+			// The update path reuses the classifier QP, which wants +/-1.
+			for i, v := range labels {
+				if v > 0 {
+					labels[i] = 1
+				} else {
+					labels[i] = -1
+				}
+			}
+		}
+		res, err = tasks.Update(base, x, labels, cfg)
+		if err != nil {
+			return err
+		}
+	case o.task == "svr":
+		res, err = tasks.TrainSVR(x, labels, o.c, o.svrEpsilon, cfg, nil)
+		if err != nil {
+			return err
+		}
+	case o.task == "oneclass":
+		res, err = tasks.TrainOneClass(x, o.nu, cfg, nil)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -task %q (valid: svr, oneclass)", o.task)
+	}
+	m := res.Model
+
+	if err := m.Save(o.modelPath); err != nil {
+		return err
+	}
+	if !o.quiet {
+		mode := "trained"
+		if o.updateFrom != "" {
+			mode = "updated"
+		}
+		fmt.Printf("%s %s on %d samples in %v: converged=%v iterations=%d objective=%.6g SVs=%d (%.1f%% of samples)\n",
+			mode, m.TaskKind(), x.Rows(), time.Since(start).Round(time.Millisecond),
+			res.Converged, res.Iterations, res.Objective,
+			m.NumSV(), 100*float64(m.NumSV())/float64(x.Rows()))
+		fmt.Printf("model written to %s\n", o.modelPath)
+	}
+
+	if o.verify {
+		// Verify against the model's own hyper-parameters, not the kernel
+		// flags: an -update-from run inherits the base model's kernel (the
+		// flags may be unset), and verifying the right model against a
+		// different kernel reports garbage with full confidence.
+		var rep *oracle.Report
+		switch m.TaskKind() {
+		case model.TaskSVR:
+			prob := oracle.SVRProblem{X: x, Z: labels, Kernel: m.Kernel, C: m.C, Epsilon: m.Epsilon, Eps: o.eps, Workers: o.workers}
+			rep, err = prob.VerifyModel(m)
+		case model.TaskOneClass:
+			prob := oracle.OneClassProblem{X: x, Kernel: m.Kernel, Nu: m.Nu, Eps: o.eps, Workers: o.workers}
+			rep, err = prob.VerifyModel(m)
+		default:
+			prob := oracle.Problem{X: x, Y: labels, Kernel: m.Kernel, C: m.C, Eps: o.eps}
+			rep, err = prob.VerifyModel(m)
+		}
 		if err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}

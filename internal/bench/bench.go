@@ -156,6 +156,7 @@ func Experiments() []Experiment {
 		{ID: "oracle", Title: "Cross-solver correctness oracle: duality gap and KKT violations per engine", Run: RunOracle},
 		{ID: "serve", Title: "Serving throughput: coalescing, packed layout, and overload shedding", Run: RunServe},
 		{ID: "ckpt", Title: "Checkpoint overhead and resume cost per training engine", Run: RunCkpt},
+		{ID: "tasks", Title: "Task variants: cold retrain vs incremental warm-start update (SVR, one-class)", Run: RunTasks},
 		{ID: "kernelrow", Title: "Kernel row engine: pairwise vs dense-scratch vs fused pair (ns/eval)", Run: RunKernelRow},
 		{ID: "validate-model", Title: "Cross-check: analytic model vs executed virtual time", Run: RunValidateModel},
 	}

@@ -60,6 +60,7 @@ const (
 	SolverCore  = "core"
 	SolverSMO   = "smo"
 	SolverDCSVM = "dcsvm"
+	SolverTasks = "tasks"
 )
 
 // headerSize is magic(8) + version(4) + crc(4) + payload length(8).
@@ -168,6 +169,20 @@ func FingerprintOf(x sparse.RowMatrix, y []float64) uint64 {
 // was trained on.
 func Fingerprint(x *sparse.Matrix, y []float64) uint64 {
 	return FingerprintOf(x, y)
+}
+
+// BindModel mixes a base-model content hash into a dataset fingerprint.
+// Incremental updates (internal/tasks) checkpoint under the bound
+// fingerprint, so a resume is rejected unless BOTH the appended dataset and
+// the warm-start base model are the ones the checkpoint was written against
+// — the alpha vector is only meaningful relative to both.
+func BindModel(datasetFP, modelHash uint64) uint64 {
+	h := crc64.New(fpTable)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], datasetFP)
+	binary.LittleEndian.PutUint64(b[8:], modelHash)
+	h.Write(b[:])
+	return h.Sum64()
 }
 
 // Matches validates a loaded state against the dataset a resume is about to

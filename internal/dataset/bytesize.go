@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -9,7 +10,9 @@ import (
 // ParseByteSize parses a human-readable byte count for -mem-budget-style
 // flags: a plain integer is bytes; K/M/G suffixes are binary multiples,
 // with optional "i" and/or "B" ("64M", "64MiB", "64mb" all parse to
-// 64 * 2^20).
+// 64 * 2^20). Suffixed values may be fractional ("1.5MiB"), which is what
+// FormatByteSize emits for non-multiple counts; fractions round to the
+// nearest byte.
 func ParseByteSize(s string) (int64, error) {
 	t := strings.TrimSpace(strings.ToUpper(s))
 	t = strings.TrimSuffix(t, "B")
@@ -23,14 +26,30 @@ func ParseByteSize(s string) (int64, error) {
 	case strings.HasSuffix(t, "G"):
 		shift, t = 30, t[:len(t)-1]
 	}
-	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("dataset: byte size %q (want e.g. 1048576, 64MiB, 1G)", s)
+	t = strings.TrimSpace(t)
+	if n, err := strconv.ParseInt(t, 10, 64); err == nil {
+		if n < 0 {
+			return 0, fmt.Errorf("dataset: byte size %q (want e.g. 1048576, 64MiB, 1.5M, 1G)", s)
+		}
+		if n > (1<<62)>>shift {
+			return 0, fmt.Errorf("dataset: byte size %q overflows", s)
+		}
+		return n << shift, nil
 	}
-	if n > (1<<62)>>shift {
+	// Fractional sizes only make sense with a unit: "1.5" bytes is a typo,
+	// "1.5MiB" is a round-tripped FormatByteSize output.
+	if shift == 0 {
+		return 0, fmt.Errorf("dataset: byte size %q (want e.g. 1048576, 64MiB, 1.5M, 1G)", s)
+	}
+	f, err := strconv.ParseFloat(t, 64)
+	if err != nil || f < 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0, fmt.Errorf("dataset: byte size %q (want e.g. 1048576, 64MiB, 1.5M, 1G)", s)
+	}
+	bytes := f * float64(int64(1)<<shift)
+	if bytes > float64(1<<62) {
 		return 0, fmt.Errorf("dataset: byte size %q overflows", s)
 	}
-	return n << shift, nil
+	return int64(math.Round(bytes)), nil
 }
 
 // FormatByteSize renders a byte count the way ParseByteSize reads it.

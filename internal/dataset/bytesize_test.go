@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseByteSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":       0,
+		"1048576": 1 << 20,
+		"64M":     64 << 20,
+		"64MiB":   64 << 20,
+		"64mb":    64 << 20,
+		"1G":      1 << 30,
+		"2K":      2 << 10,
+		"1.5MiB":  3 << 19, // 1.5 * 2^20
+		"1.5K":    1536,
+		"0.5GiB":  1 << 29,
+		"2.25M":   2359296,
+	}
+	for in, want := range cases {
+		got, err := ParseByteSize(in)
+		if err != nil {
+			t.Errorf("ParseByteSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "-1M", "1.5", "1..5M", "1e", "NaNM", "+InfG"} {
+		if v, err := ParseByteSize(bad); err == nil {
+			t.Errorf("ParseByteSize(%q) = %d, want error", bad, v)
+		}
+	}
+}
+
+// TestByteSizeRoundTrip is the property test behind the Format/Parse
+// contract: everything FormatByteSize emits must parse back, exactly for
+// unit multiples and within the emitted decimal's precision otherwise.
+func TestByteSizeRoundTrip(t *testing.T) {
+	check := func(n int64) {
+		s := FormatByteSize(n)
+		got, err := ParseByteSize(s)
+		if err != nil {
+			t.Fatalf("FormatByteSize(%d) = %q does not parse: %v", n, s, err)
+		}
+		var unit int64 = 1
+		switch {
+		case n >= 1<<20:
+			unit = 1 << 20
+		case n >= 1<<10:
+			unit = 1 << 10
+		}
+		if n%unit == 0 || n >= 1<<30 && n%(1<<30) == 0 {
+			if got != n {
+				t.Fatalf("exact multiple %d round-trips to %d via %q", n, got, s)
+			}
+			return
+		}
+		// One fractional digit: the reconstruction is within unit/20 + rounding.
+		if tol := float64(unit)/20 + 1; math.Abs(float64(got-n)) > tol {
+			t.Fatalf("%d -> %q -> %d: off by %d (> %g)", n, s, got, got-n, tol)
+		}
+	}
+	for _, n := range []int64{0, 1, 512, 1 << 10, 1536, 1 << 20, 3 << 19, 1 << 30, (1 << 30) + (1 << 20), 123456789} {
+		check(n)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		check(rng.Int63n(1 << 34))
+	}
+}

@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// Task-variant generators: deterministic synthetic data for the epsilon-SVR
+// and one-class QPs (internal/tasks). They return raw (matrix, value)
+// pairs rather than a Dataset because Dataset.Validate enforces the
+// classifier's {+1, -1} label contract — SVR targets are continuous and
+// one-class labels are ground-truth annotations the trainer never sees.
+
+// GenerateRegression draws n dense samples uniformly from [-2, 2]^dim with
+// targets z = sin(w.x) + 0.5*(v.x) + noise for fixed latent directions w, v
+// — smooth enough for an RBF SVR to fit, nonlinear enough that a linear
+// model cannot. Deterministic in (n, dim, noise, seed).
+func GenerateRegression(n, dim int, noise float64, seed int64) (*sparse.Matrix, []float64, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, nil, fmt.Errorf("dataset: regression set needs positive n and dim, got n=%d dim=%d", n, dim)
+	}
+	if noise < 0 {
+		return nil, nil, fmt.Errorf("dataset: negative noise %v", noise)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, dim)
+	v := make([]float64, dim)
+	for j := range w {
+		w[j] = rng.NormFloat64() / math.Sqrt(float64(dim))
+		v[j] = rng.NormFloat64() / math.Sqrt(float64(dim))
+	}
+	b := sparse.NewBuilder(dim)
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var wx, vx float64
+		for j := 0; j < dim; j++ {
+			x := 4*rng.Float64() - 2
+			b.Add(j, x)
+			wx += w[j] * x
+			vx += v[j] * x
+		}
+		b.EndRow()
+		z[i] = math.Sin(wx) + 0.5*vx + noise*rng.NormFloat64()
+	}
+	return b.Build(), z, nil
+}
+
+// GenerateOneClass draws n samples of which a floor(outlierFrac*n) minority
+// are planted anomalies: inliers come from a unit Gaussian blob, outliers
+// sit isolated at radius ~8 in scattered directions (so they cannot form a
+// dense mode of their own). The returned labels are ground truth — +1
+// inlier, -1 outlier — for evaluating a detector; one-class training
+// ignores them. Outliers are interleaved deterministically so any prefix of
+// the set keeps roughly the same contamination rate (the incremental-update
+// benches append suffixes). Deterministic in (n, dim, outlierFrac, seed).
+func GenerateOneClass(n, dim int, outlierFrac float64, seed int64) (*sparse.Matrix, []float64, error) {
+	if n <= 0 || dim <= 0 {
+		return nil, nil, fmt.Errorf("dataset: one-class set needs positive n and dim, got n=%d dim=%d", n, dim)
+	}
+	if outlierFrac < 0 || outlierFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: outlier fraction %v outside [0, 1)", outlierFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nOut := int(outlierFrac * float64(n))
+	every := 0
+	if nOut > 0 {
+		every = n / nOut
+	}
+	b := sparse.NewBuilder(dim)
+	y := make([]float64, n)
+	planted := 0
+	for i := 0; i < n; i++ {
+		if every > 0 && planted < nOut && i%every == every-1 {
+			// Isolated far point: a random unit direction scaled to ~8.
+			dir := make([]float64, dim)
+			var norm float64
+			for j := range dir {
+				dir[j] = rng.NormFloat64()
+				norm += dir[j] * dir[j]
+			}
+			norm = math.Sqrt(norm)
+			if norm == 0 {
+				norm = 1
+			}
+			r := 8 + rng.Float64()
+			for j := range dir {
+				b.Add(j, r*dir[j]/norm)
+			}
+			b.EndRow()
+			y[i] = -1
+			planted++
+			continue
+		}
+		for j := 0; j < dim; j++ {
+			b.Add(j, rng.NormFloat64())
+		}
+		b.EndRow()
+		y[i] = 1
+	}
+	return b.Build(), y, nil
+}

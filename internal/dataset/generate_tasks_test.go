@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestGenerateRegressionDeterministic(t *testing.T) {
+	x1, z1, err := GenerateRegression(50, 4, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, z2, err := GenerateRegression(50, 4, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x1.Rows() != 50 || len(z1) != 50 {
+		t.Fatalf("rows = %d, targets = %d, want 50", x1.Rows(), len(z1))
+	}
+	for i := range z1 {
+		if z1[i] != z2[i] {
+			t.Fatalf("same seed diverged at target %d: %v vs %v", i, z1[i], z2[i])
+		}
+		r1, r2 := x1.RowView(i), x2.RowView(i)
+		for k := range r1.Val {
+			if r1.Val[k] != r2.Val[k] {
+				t.Fatalf("same seed diverged at row %d", i)
+			}
+		}
+	}
+	_, z3, err := GenerateRegression(50, 4, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range z1 {
+		if z1[i] != z3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical targets")
+	}
+	if _, _, err := GenerateRegression(0, 4, 0.05, 1); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, _, err := GenerateRegression(10, 4, -1, 1); err == nil {
+		t.Error("negative noise accepted")
+	}
+}
+
+func TestGenerateOneClassContamination(t *testing.T) {
+	x, y, err := GenerateOneClass(200, 3, 0.05, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nOut := 0
+	for i, v := range y {
+		r := x.RowView(i)
+		var norm float64
+		for _, val := range r.Val {
+			norm += val * val
+		}
+		norm = math.Sqrt(norm)
+		switch v {
+		case -1:
+			nOut++
+			if norm < 7 {
+				t.Errorf("outlier %d at radius %.2f, want >= 7", i, norm)
+			}
+		case 1:
+			if norm > 7 {
+				t.Errorf("inlier %d at radius %.2f, want < 7", i, norm)
+			}
+		default:
+			t.Fatalf("label %v is not ground-truth +/-1", v)
+		}
+	}
+	if want := 10; nOut != want {
+		t.Errorf("planted %d outliers, want %d (floor(0.05*200))", nOut, want)
+	}
+	// Prefixes keep roughly the same contamination (interleaved planting).
+	half := 0
+	for _, v := range y[:100] {
+		if v == -1 {
+			half++
+		}
+	}
+	if half < 3 || half > 7 {
+		t.Errorf("first half holds %d outliers, want ~5", half)
+	}
+	if _, _, err := GenerateOneClass(10, 3, 1.0, 1); err == nil {
+		t.Error("outlier fraction 1.0 accepted")
+	}
+}
+
+// TestLibsvmValuesRoundTrip checks that continuous labels survive the raw
+// writer/reader bit-exactly — the classifier path clamps to +/-1, which
+// would destroy SVR targets.
+func TestLibsvmValuesRoundTrip(t *testing.T) {
+	x, z, err := GenerateRegression(40, 3, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLibsvmValues(&buf, x, z); err != nil {
+		t.Fatal(err)
+	}
+	x2, z2, err := ReadLibsvmValues(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x2.Rows() != x.Rows() || len(z2) != len(z) {
+		t.Fatalf("round trip changed shape: %d/%d rows, %d/%d labels", x2.Rows(), x.Rows(), len(z2), len(z))
+	}
+	for i := range z {
+		if z2[i] != z[i] {
+			t.Fatalf("label %d: %v -> %v", i, z[i], z2[i])
+		}
+		r1, r2 := x.RowView(i), x2.RowView(i)
+		if len(r1.Val) != len(r2.Val) {
+			t.Fatalf("row %d changed nnz", i)
+		}
+		for k := range r1.Val {
+			if r1.Idx[k] != r2.Idx[k] || r1.Val[k] != r2.Val[k] {
+				t.Fatalf("row %d entry %d changed", i, k)
+			}
+		}
+	}
+	bad := make([]float64, x.Rows())
+	bad[0] = math.NaN()
+	if err := WriteLibsvmValues(&buf, x, bad); err == nil {
+		t.Error("NaN label accepted")
+	}
+}

@@ -154,6 +154,88 @@ func WriteLibsvm(w io.Writer, x *sparse.Matrix, y []float64) error {
 	return bw.Flush()
 }
 
+// ReadLibsvmValues parses the libsvm text format keeping labels verbatim
+// instead of sign-mapping them: regression targets and multiclass labels
+// survive a round trip. Everything else matches ReadLibsvm.
+func ReadLibsvmValues(r io.Reader) (*sparse.Matrix, []float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	b := sparse.NewBuilder(0)
+	var y []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		label, row, err := ParseLine(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("libsvm: line %d: %w", lineNo, err)
+		}
+		y = append(y, label)
+		b.AddRow(row.Idx, row.Val)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("libsvm: %w", err)
+	}
+	return b.Build(), y, nil
+}
+
+// WriteLibsvmValues writes (x, y) in libsvm text format with full-precision
+// labels (shortest representation that parses back to the exact float64),
+// the counterpart of ReadLibsvmValues for continuous targets.
+func WriteLibsvmValues(w io.Writer, x *sparse.Matrix, y []float64) error {
+	if x.Rows() != len(y) {
+		return fmt.Errorf("libsvm: %d rows but %d labels", x.Rows(), len(y))
+	}
+	for _, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("libsvm: non-finite label %v", v)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	var scratch []byte
+	for i := 0; i < x.Rows(); i++ {
+		scratch = strconv.AppendFloat(scratch[:0], y[i], 'g', -1, 64)
+		r := x.RowView(i)
+		for k, c := range r.Idx {
+			scratch = append(scratch, ' ')
+			scratch = strconv.AppendInt(scratch, int64(c)+1, 10)
+			scratch = append(scratch, ':')
+			scratch = strconv.AppendFloat(scratch, r.Val[k], 'g', -1, 64)
+		}
+		scratch = append(scratch, '\n')
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLibsvmValuesFile reads a libsvm file from disk keeping labels verbatim.
+func LoadLibsvmValuesFile(path string) (*sparse.Matrix, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadLibsvmValues(f)
+}
+
+// SaveLibsvmValuesFile writes a libsvm file to disk with verbatim labels.
+func SaveLibsvmValuesFile(path string, x *sparse.Matrix, y []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteLibsvmValues(f, x, y); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
 // LoadLibsvmFile reads a libsvm file from disk.
 func LoadLibsvmFile(path string) (*sparse.Matrix, []float64, error) {
 	f, err := os.Open(path)

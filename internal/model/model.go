@@ -17,10 +17,22 @@ import (
 	"repro/internal/sparse"
 )
 
-// Model is a trained binary SVM classifier.
+// Model is a trained SVM: a binary classifier (the zero-value Task), an
+// epsilon-SVR regressor, or a one-class anomaly detector. All three share
+// the kernel expansion sum_i Coef_i*Phi(sv_i, x) - Beta; the task kind
+// selects how that value is interpreted (sign, regression estimate, or
+// anomaly margin).
 type Model struct {
 	Kernel kernel.Params
 	C      float64 // box constraint used during training (informational)
+
+	// Task is the QP kind this model solves; empty means TaskCSVC.
+	Task Task
+	// Epsilon is the SVR tube half-width (TaskSVR only).
+	Epsilon float64
+	// Nu is the one-class outlier-fraction bound (TaskOneClass only); the
+	// training box was [0, 1/(nu*n)] and C records that bound.
+	Nu float64
 
 	// SV holds the support vectors (rows with alpha > 0).
 	SV *sparse.Matrix
@@ -126,6 +138,9 @@ func (m *Model) Validate() error {
 		if math.IsNaN(m.Beta) || math.IsInf(m.Beta, 0) {
 			return fmt.Errorf("model: beta is %v", m.Beta)
 		}
+		if err := m.validateTask(); err != nil {
+			return err
+		}
 		return m.Kernel.Validate()
 	}
 	if err := m.SV.Validate(); err != nil {
@@ -147,6 +162,9 @@ func (m *Model) Validate() error {
 	}
 	if math.IsNaN(m.Beta) || math.IsInf(m.Beta, 0) {
 		return fmt.Errorf("model: beta is %v", m.Beta)
+	}
+	if err := m.validateTask(); err != nil {
+		return err
 	}
 	return m.Kernel.Validate()
 }

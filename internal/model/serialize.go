@@ -57,7 +57,21 @@ func (m *Model) Write(w io.Writer) error {
 		return err
 	}
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "svm_type c_svc")
+	fmt.Fprintf(bw, "svm_type %s\n", m.TaskKind())
+	if m.TaskKind() != TaskCSVC {
+		// Task extension, format version 1: the parameters that change the
+		// meaning of the kernel expansion, sealed by a checksum over
+		// (kind, epsilon, nu) so a corrupted or spliced task section is
+		// rejected at load time — same discipline as the W section.
+		fmt.Fprintln(bw, "task_format 1")
+		switch m.TaskKind() {
+		case TaskSVR:
+			fmt.Fprintf(bw, "svr_epsilon %v\n", m.Epsilon)
+		case TaskOneClass:
+			fmt.Fprintf(bw, "nu %v\n", m.Nu)
+		}
+		fmt.Fprintf(bw, "task_crc %d\n", taskChecksum(m.TaskKind(), m.Epsilon, m.Nu))
+	}
 	fmt.Fprintf(bw, "kernel_type %s\n", m.Kernel.Type)
 	switch m.Kernel.Type {
 	case kernel.Gaussian:
@@ -148,6 +162,47 @@ type wHeader struct {
 	hasCRC bool
 }
 
+// taskChecksum is CRC-32C over the canonical little-endian encoding of the
+// task parameters: the kind string, then the float64 bits of epsilon and nu.
+func taskChecksum(t Task, epsilon, nu float64) uint32 {
+	h := crc32.New(wCRCTable)
+	h.Write([]byte(t))
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], math.Float64bits(epsilon))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(nu))
+	h.Write(b[:])
+	return h.Sum32()
+}
+
+// taskHeader accumulates the task-extension header keys during parsing.
+type taskHeader struct {
+	sawFormat bool
+	crc       uint32
+	hasCRC    bool
+}
+
+// verifyTask enforces the task-extension contract after the header is
+// parsed: non-classifier models must declare the versioned section and a
+// checksum matching the parsed parameters; classifiers must not carry one.
+func verifyTask(m *Model, th *taskHeader) error {
+	if m.TaskKind() == TaskCSVC {
+		if th.sawFormat || th.hasCRC {
+			return fmt.Errorf("model: task extension headers on a c_svc model")
+		}
+		return nil
+	}
+	if !th.sawFormat {
+		return fmt.Errorf("model: svm_type %s without task_format header", m.TaskKind())
+	}
+	if !th.hasCRC {
+		return fmt.Errorf("model: svm_type %s without task_crc header", m.TaskKind())
+	}
+	if got := taskChecksum(m.TaskKind(), m.Epsilon, m.Nu); got != th.crc {
+		return fmt.Errorf("model: task checksum mismatch: file declares %d, parameters hash to %d (corrupted model file)", th.crc, got)
+	}
+	return nil
+}
+
 // Read parses a model previously written by Write.
 func Read(r io.Reader) (*Model, error) {
 	sc := bufio.NewScanner(r)
@@ -155,6 +210,7 @@ func Read(r io.Reader) (*Model, error) {
 	m := &Model{}
 	totalSV := -1
 	wh := wHeader{dim: -1}
+	var th taskHeader
 	inHeader := true
 	inW := false
 	var wIdx []int32
@@ -174,7 +230,7 @@ func Read(r io.Reader) (*Model, error) {
 			if !ok {
 				return nil, fmt.Errorf("model: malformed header line %q", line)
 			}
-			if err := parseHeader(m, &totalSV, &wh, key, val); err != nil {
+			if err := parseHeader(m, &totalSV, &wh, &th, key, val); err != nil {
 				return nil, err
 			}
 			continue
@@ -204,6 +260,9 @@ func Read(r io.Reader) (*Model, error) {
 	}
 	if inHeader {
 		return nil, fmt.Errorf("model: missing SV section")
+	}
+	if err := verifyTask(m, &th); err != nil {
+		return nil, err
 	}
 	m.SV = b.Build()
 	if totalSV >= 0 && m.SV.Rows() != totalSV {
@@ -278,8 +337,28 @@ func parseWLine(line string, idx *[]int32, val *[]float64) error {
 	return nil
 }
 
-func parseHeader(m *Model, totalSV *int, wh *wHeader, key, val string) error {
+func parseHeader(m *Model, totalSV *int, wh *wHeader, th *taskHeader, key, val string) error {
 	switch key {
+	case "task_format":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("model: task_format: %w", err)
+		}
+		if v != 1 {
+			return fmt.Errorf("model: unsupported task_format %d (this reader knows version 1)", v)
+		}
+		th.sawFormat = true
+	case "task_crc":
+		c, err := strconv.ParseUint(val, 10, 32)
+		if err != nil {
+			return fmt.Errorf("model: task_crc: %w", err)
+		}
+		th.crc = uint32(c)
+		th.hasCRC = true
+	case "svr_epsilon":
+		return parseF(val, &m.Epsilon)
+	case "nu":
+		return parseF(val, &m.Nu)
 	case "w_format":
 		v, err := strconv.Atoi(val)
 		if err != nil {
@@ -302,9 +381,11 @@ func parseHeader(m *Model, totalSV *int, wh *wHeader, key, val string) error {
 		wh.crc = uint32(c)
 		wh.hasCRC = true
 	case "svm_type":
-		if val != "c_svc" {
+		t, err := ParseTask(val)
+		if err != nil {
 			return fmt.Errorf("model: unsupported svm_type %q", val)
 		}
+		m.Task = t
 	case "kernel_type":
 		t, err := kernel.ParseType(val)
 		if err != nil {

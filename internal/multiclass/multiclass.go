@@ -13,6 +13,7 @@ package multiclass
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -76,6 +77,17 @@ func TrainWith(x *sparse.Matrix, y []float64, trainer Trainer) (*Model, error) {
 	classes := distinctClasses(y)
 	if len(classes) < 2 {
 		return nil, errors.New("multiclass: need at least 2 classes")
+	}
+	// One-vs-rest is for discrete classes. Continuous targets (an SVR set
+	// fed to the wrong trainer) would silently spawn one binary machine per
+	// distinct float — catch that here with a clear redirect.
+	for _, cls := range classes {
+		if cls != math.Trunc(cls) {
+			return nil, fmt.Errorf("multiclass: label %v is not an integer class; continuous targets are a regression task — use tasks.TrainSVR (svmtrain -task svr)", cls)
+		}
+	}
+	if len(y) >= 8 && len(classes) > len(y)/2 {
+		return nil, fmt.Errorf("multiclass: %d distinct labels over %d samples look like continuous targets, not classes — use tasks.TrainSVR (svmtrain -task svr)", len(classes), len(y))
 	}
 	if len(classes) == 2 && classes[0] == -1 && classes[1] == 1 {
 		// Plain binary problem: one machine suffices.

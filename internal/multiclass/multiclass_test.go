@@ -111,6 +111,48 @@ func TestTrainValidation(t *testing.T) {
 	}
 }
 
+// TestContinuousLabelsRejected: an SVR target vector fed to one-vs-rest
+// must fail fast with a redirect to the regression task, not spawn one
+// binary machine per distinct float.
+func TestContinuousLabelsRejected(t *testing.T) {
+	x, _ := threeBlobs(30, 3)
+	cont := make([]float64, 30)
+	for i := range cont {
+		cont[i] = 0.1 * float64(i)
+	}
+	trainer := func(bx *sparse.Matrix, by []float64) (*model.Model, error) {
+		t.Fatal("trainer invoked for continuous labels")
+		return nil, nil
+	}
+	_, err := TrainWith(x, cont, trainer)
+	if err == nil {
+		t.Fatal("continuous labels accepted")
+	}
+	if !strings.Contains(err.Error(), "svr") {
+		t.Errorf("error %q does not redirect to the regression task", err)
+	}
+	// Many distinct integer labels over few samples are equally suspect.
+	ints := make([]float64, 30)
+	for i := range ints {
+		ints[i] = float64(i)
+	}
+	if _, err := TrainWith(x, ints, trainer); err == nil {
+		t.Error("one-label-per-sample accepted")
+	}
+	// Legitimate discrete classes still train (guard must not overfire).
+	if _, err := TrainWith(x, threeBlobsLabels(30), func(bx *sparse.Matrix, by []float64) (*model.Model, error) {
+		m, _, err := core.TrainParallel(bx, by, 2, cfg())
+		return m, err
+	}); err != nil {
+		t.Errorf("discrete 3-class training failed: %v", err)
+	}
+}
+
+func threeBlobsLabels(n int) []float64 {
+	_, y := threeBlobs(n, 3)
+	return y
+}
+
 func TestTenClassDigitsLike(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains 10 machines; skipped with -short")

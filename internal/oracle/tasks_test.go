@@ -1,0 +1,163 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// svrTwoSample is analytically solvable: x1 = (1), z1 = 1 and x2 = (-1),
+// z2 = -1 under the linear kernel with epsilon = 0.1, C = 10. The equality
+// constraint forces d2 = -d1 and the objective 2*d1^2 - 2*d1 + 0.2*d1
+// minimizes at d1 = 0.45 with beta = 0 and zero duality gap.
+func svrTwoSample() SVRProblem {
+	return SVRProblem{
+		X:       sparse.FromDense([][]float64{{1}, {-1}}),
+		Z:       []float64{1, -1},
+		Kernel:  kernel.Params{Type: kernel.Linear},
+		C:       10,
+		Epsilon: 0.1,
+		Eps:     1e-3,
+	}
+}
+
+func TestSVRVerifyExactOptimum(t *testing.T) {
+	p := svrTwoSample()
+	rep, err := p.VerifyCoef([]float64{0.45, -0.45}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.DualObjective, 0.405; math.Abs(got-want) > 1e-12 {
+		t.Errorf("dual objective = %v, want %v", got, want)
+	}
+	if math.Abs(rep.DualityGap) > 1e-12 {
+		t.Errorf("duality gap = %v, want 0", rep.DualityGap)
+	}
+	if rep.MaxKKTViolation > 1e-12 {
+		t.Errorf("max KKT violation = %v, want 0 (%s)", rep.MaxKKTViolation, rep.Worst)
+	}
+	if err := rep.Check(); err != nil {
+		t.Errorf("Check at the exact optimum: %v", err)
+	}
+}
+
+func TestSVRVerifyDetectsViolations(t *testing.T) {
+	p := svrTwoSample()
+	// Perturbed free coefficient: residual leaves the epsilon tube.
+	rep, err := p.VerifyCoef([]float64{0.3, -0.3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("suboptimal point accepted")
+	}
+	// Broken equality constraint.
+	rep, err = p.VerifyCoef([]float64{0.45, -0.1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("equality violation accepted")
+	}
+	// Box violation.
+	rep, err = p.VerifyCoef([]float64{11, -11}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("box violation accepted")
+	}
+	// Wrong threshold: both free samples drift off their tube edge.
+	rep, err = p.VerifyCoef([]float64{0.45, -0.45}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("wrong beta accepted")
+	}
+}
+
+func TestOneClassVerifyExactOptimum(t *testing.T) {
+	p := OneClassProblem{
+		X:      sparse.FromDense([][]float64{{1}, {-1}}),
+		Kernel: kernel.Params{Type: kernel.Linear},
+		Nu:     1,
+		Eps:    1e-3,
+	}
+	// nu = 1 puts both samples at the bound 1/2; u = 0 everywhere, rho = 0.
+	rep, err := p.VerifyAlpha([]float64{0.5, 0.5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.DualityGap) > 1e-12 || rep.MaxKKTViolation > 1e-12 {
+		t.Errorf("gap %v, maxKKT %v at exact optimum", rep.DualityGap, rep.MaxKKTViolation)
+	}
+	if err := rep.Check(); err != nil {
+		t.Errorf("Check at the exact optimum: %v", err)
+	}
+	// Equality violated (sum != 1).
+	rep, err = p.VerifyAlpha([]float64{0.5, 0.2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("sum(alpha) != 1 accepted")
+	}
+	// Wrong rho: bound samples require u <= rho, so a negative rho fails.
+	rep, err = p.VerifyAlpha([]float64{0.5, 0.5}, -0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err == nil {
+		t.Error("wrong rho accepted")
+	}
+}
+
+func TestVerifyModelTaskMismatch(t *testing.T) {
+	m := &model.Model{
+		Kernel: kernel.Params{Type: kernel.Linear},
+		C:      10,
+		SV:     sparse.FromDense([][]float64{{1}}),
+		Coef:   []float64{1},
+	}
+	// m is a classifier (zero task); both task verifiers must refuse it.
+	if _, err := svrTwoSample().VerifyModel(m); err == nil {
+		t.Error("SVR verifier accepted a classifier model")
+	}
+	p := OneClassProblem{X: sparse.FromDense([][]float64{{1}, {-1}}), Kernel: kernel.Params{Type: kernel.Linear}, Nu: 0.5}
+	if _, err := p.VerifyModel(m); err == nil {
+		t.Error("one-class verifier accepted a classifier model")
+	}
+}
+
+func TestRecoverCoefContentMatching(t *testing.T) {
+	x := sparse.FromDense([][]float64{{1, 0}, {0, 1}, {2, 2}})
+	m := &model.Model{
+		Kernel:  kernel.Params{Type: kernel.Linear},
+		C:       10,
+		Task:    model.TaskSVR,
+		Epsilon: 0.1,
+		SV:      sparse.FromDense([][]float64{{2, 2}, {1, 0}}),
+		Coef:    []float64{-0.25, 0.5},
+		Beta:    0,
+	}
+	coef, err := RecoverCoef(x, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0, -0.25}
+	for i := range want {
+		if coef[i] != want[i] {
+			t.Fatalf("coef = %v, want %v", coef, want)
+		}
+	}
+	// A support vector absent from the training set must be reported.
+	m.SV = sparse.FromDense([][]float64{{9, 9}})
+	m.Coef = []float64{1}
+	if _, err := RecoverCoef(x, m); err == nil {
+		t.Error("foreign support vector accepted")
+	}
+}

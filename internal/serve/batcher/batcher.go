@@ -317,11 +317,16 @@ func (b *Batcher) runBatch(reqs []*request) {
 		rows[i] = r.row
 	}
 	dv := m.DecisionValuesRows(rows, b.cfg.Workers)
+	svr := m.TaskKind() == model.TaskSVR
 	for i, r := range live {
 		res := Result{Decision: dv[i], Version: version, BatchSize: len(live)}
-		if dv[i] >= 0 {
+		switch {
+		case svr:
+			// Regression: the decision value IS the prediction.
+			res.Label = dv[i]
+		case dv[i] >= 0:
 			res.Label = 1
-		} else {
+		default:
 			res.Label = -1
 		}
 		if p, ok := m.ProbabilityFromDecision(dv[i]); ok {

@@ -57,6 +57,11 @@ type entry struct {
 	path    string
 	ptr     atomic.Pointer[Snapshot]
 	version atomic.Uint64
+	// task is the task kind the endpoint was registered with. Reload pins
+	// it: clients decode responses by task (regression value vs class
+	// label), so swapping an SVR model under a classifier endpoint would
+	// silently change response semantics mid-flight.
+	task model.Task
 	// reloadMu serializes reloads of this entry so two concurrent reloads
 	// cannot interleave read-file/store-pointer and publish stale bytes.
 	reloadMu sync.Mutex
@@ -108,7 +113,7 @@ func (r *Registry) Add(name, path string) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
-	e := &entry{path: path}
+	e := &entry{path: path, task: m.TaskKind()}
 	e.version.Store(1)
 	e.ptr.Store(&Snapshot{Model: m, Path: path, LoadedAt: time.Now(), Version: 1, Packed: r.pack(m)})
 	r.mu.Lock()
@@ -146,6 +151,9 @@ func (r *Registry) Reload(name string) (*Snapshot, error) {
 	m, err := LoadModel(e.path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reload %q: %w", name, err)
+	}
+	if got := m.TaskKind(); got != e.task {
+		return nil, fmt.Errorf("serve: reload %q: model file is %s but this endpoint serves %s; register a new endpoint instead of changing task kind in place", name, got, e.task)
 	}
 	snap := &Snapshot{Model: m, Path: e.path, LoadedAt: time.Now(), Version: e.version.Add(1), Packed: r.pack(m)}
 	e.ptr.Store(snap)

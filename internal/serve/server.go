@@ -283,6 +283,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type ModelInfo struct {
 	Name         string  `json:"name"`
 	Path         string  `json:"path"`
+	Task         string  `json:"task"`
 	Kernel       string  `json:"kernel"`
 	NumSV        int     `json:"num_sv"`
 	TrainSamples int     `json:"train_samples"`
@@ -307,6 +308,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		infos = append(infos, ModelInfo{
 			Name:         n,
 			Path:         snap.Path,
+			Task:         string(m.TaskKind()),
 			Kernel:       m.Kernel.String(),
 			NumSV:        m.NumSV(),
 			TrainSamples: m.TrainSamples,
@@ -336,6 +338,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	s.met.reloads.add(1, name)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"model":     name,
+		"task":      string(snap.Model.TaskKind()),
 		"version":   snap.Version,
 		"num_sv":    snap.Model.NumSV(),
 		"loaded_at": snap.LoadedAt.UTC().Format(time.RFC3339Nano),
@@ -365,9 +368,12 @@ type Prediction struct {
 	Probability *float64 `json:"probability,omitempty"`
 }
 
-// PredictResponse is the JSON body answered by POST /v1/predict.
+// PredictResponse is the JSON body answered by POST /v1/predict. Task tells
+// the client how to read Label: a class for c_svc, the regression value for
+// epsilon_svr, the inlier/outlier verdict for one_class.
 type PredictResponse struct {
 	Model       string       `json:"model"`
+	Task        string       `json:"task"`
 	Version     uint64       `json:"model_version"`
 	Predictions []Prediction `json:"predictions"`
 }
@@ -398,8 +404,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	task := snap.Model.TaskKind()
 	if p, ok := s.pipelines[name]; ok && len(rows) == 1 && !s.cfg.DisableCoalesce {
-		s.predictCoalesced(w, r, name, p, rows[0])
+		s.predictCoalesced(w, r, name, task, p, rows[0])
 		return
 	}
 
@@ -427,23 +434,35 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	preds := make([]Prediction, len(dv))
 	for i, v := range dv {
 		preds[i].Decision = v
-		if v >= 0 {
-			preds[i].Label = 1
-		} else {
-			preds[i].Label = -1
-		}
+		preds[i].Label = taskLabel(task, v)
 		if p, ok := m.ProbabilityFromDecision(v); ok {
 			preds[i].Probability = &p
 		}
 	}
 	s.met.batchSizes.observe(float64(len(dv)))
 	s.met.predictions.add(uint64(len(dv)), name)
-	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Version: snap.Version, Predictions: preds})
+	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Task: string(task), Version: snap.Version, Predictions: preds})
+}
+
+// taskLabel maps a decision value to the task's label semantics: the
+// regression value itself for SVR, the sign for classification and
+// one-class anomaly verdicts.
+func taskLabel(task model.Task, v float64) float64 {
+	if task == model.TaskSVR {
+		return v
+	}
+	if v >= 0 {
+		return 1
+	}
+	return -1
 }
 
 // predictCoalesced answers one row through the serving pipeline:
-// admission control, replica pick, coalescing batcher.
-func (s *Server) predictCoalesced(w http.ResponseWriter, r *http.Request, name string, p *pipeline, row sparse.Row) {
+// admission control, replica pick, coalescing batcher. The task kind is
+// pinned per endpoint (Registry.Reload rejects kind changes), so reading it
+// from the resolved snapshot stays correct even if the batch executes
+// against a newer version.
+func (s *Server) predictCoalesced(w http.ResponseWriter, r *http.Request, name string, task model.Task, p *pipeline, row sparse.Row) {
 	ctx := r.Context()
 	if _, has := ctx.Deadline(); !has && s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -476,7 +495,7 @@ func (s *Server) predictCoalesced(w http.ResponseWriter, r *http.Request, name s
 	}
 	s.met.batchSizes.observe(1)
 	s.met.predictions.add(1, name)
-	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Version: res.Version, Predictions: []Prediction{pred}})
+	writeJSON(w, http.StatusOK, PredictResponse{Model: name, Task: string(task), Version: res.Version, Predictions: []Prediction{pred}})
 }
 
 func overloadReason(err error) string {

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/model"
+	"repro/internal/sparse"
+)
+
+// svrTestModel mirrors testModel but as an epsilon-SVR: same support set
+// and coefficients, so decision values line up with the classifier fixture.
+func svrTestModel(beta float64) *model.Model {
+	return &model.Model{
+		Kernel:       kernel.Params{Type: kernel.Gaussian, Gamma: 1},
+		C:            10,
+		Task:         model.TaskSVR,
+		Epsilon:      0.1,
+		SV:           sparse.FromDense([][]float64{{-1, 0}, {1, 0.5}}),
+		Coef:         []float64{-1, 1},
+		Beta:         beta,
+		TrainSamples: 10,
+	}
+}
+
+func oneClassTestModel() *model.Model {
+	return &model.Model{
+		Kernel:       kernel.Params{Type: kernel.Gaussian, Gamma: 1},
+		C:            1,
+		Task:         model.TaskOneClass,
+		Nu:           0.5,
+		SV:           sparse.FromDense([][]float64{{-1, 0}, {1, 0.5}}),
+		Coef:         []float64{0.4, 0.6},
+		Beta:         0.2,
+		TrainSamples: 10,
+	}
+}
+
+// TestReloadRejectsTaskKindChange pins the endpoint's task kind: swapping
+// the file behind a classifier endpoint for an SVR or one-class model must
+// fail with an error naming both kinds, and the previous snapshot must stay
+// live and serving.
+func TestReloadRejectsTaskKindChange(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.model"
+	saveModel(t, testModel(0.5), path)
+
+	reg := NewRegistry()
+	if err := reg.Add("clf", path); err != nil {
+		t.Fatal(err)
+	}
+	for _, swap := range []*model.Model{svrTestModel(0), oneClassTestModel()} {
+		saveModel(t, swap, path)
+		_, err := reg.Reload("clf")
+		if err == nil {
+			t.Fatalf("reload with a %s file accepted on a c_svc endpoint", swap.TaskKind())
+		}
+		if !strings.Contains(err.Error(), string(swap.TaskKind())) || !strings.Contains(err.Error(), "c_svc") {
+			t.Errorf("error %q does not name both task kinds", err)
+		}
+	}
+	// The original classifier snapshot survived every rejected swap.
+	snap, ok := reg.Get("clf")
+	if !ok {
+		t.Fatal("endpoint vanished")
+	}
+	if snap.Version != 1 || snap.Model.TaskKind() != model.TaskCSVC {
+		t.Errorf("snapshot version %d task %s, want version 1 c_svc", snap.Version, snap.Model.TaskKind())
+	}
+	// Restoring a classifier file makes reload work again.
+	saveModel(t, testModel(1.5), path)
+	snap, err := reg.Reload("clf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 {
+		t.Errorf("version %d after recovery reload, want 2", snap.Version)
+	}
+
+	// And the guard is symmetric: an SVR endpoint refuses a classifier file.
+	svrPath := dir + "/svr.model"
+	saveModel(t, svrTestModel(0), svrPath)
+	if err := reg.Add("svr", svrPath); err != nil {
+		t.Fatal(err)
+	}
+	saveModel(t, testModel(0), svrPath)
+	if _, err := reg.Reload("svr"); err == nil {
+		t.Error("reload with a c_svc file accepted on an epsilon_svr endpoint")
+	}
+}
+
+// TestReloadTaskKindChangeOverHTTP checks the same rejection surfaces
+// through POST /v1/models/{name}/reload with a clear error body, leaving
+// the endpoint serving.
+func TestReloadTaskKindChangeOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.model"
+	saveModel(t, testModel(0.5), path)
+	s, ts := newTestServer(t, Config{}, map[string]string{"clf": path})
+	defer s.Close()
+
+	saveModel(t, svrTestModel(0), path)
+	resp, err := http.Post(ts.URL+"/v1/models/clf/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(body["error"], "epsilon_svr") {
+		t.Errorf("error body %q does not name the offending task kind", body["error"])
+	}
+
+	// The classifier keeps answering.
+	resp, raw := postJSON(t, ts.URL+"/v1/predict", PredictRequest{Model: "clf", Libsvm: "1:0.7 2:0.2"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict after rejected reload: status %d: %s", resp.StatusCode, raw)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Task != "c_svc" || pr.Version != 1 {
+		t.Errorf("response task %q version %d, want c_svc version 1", pr.Task, pr.Version)
+	}
+}
+
+// TestPredictTaskSemantics checks the label contract per task kind on both
+// the coalesced single-row path and the direct batch path: SVR labels are
+// the regression value, one-class labels are the +/-1 verdict.
+func TestPredictTaskSemantics(t *testing.T) {
+	dir := t.TempDir()
+	svrPath, ocPath := dir+"/svr.model", dir+"/oc.model"
+	saveModel(t, svrTestModel(0.3), svrPath)
+	saveModel(t, oneClassTestModel(), ocPath)
+	s, ts := newTestServer(t, Config{}, map[string]string{"svr": svrPath, "oc": ocPath})
+	defer s.Close()
+
+	probe := Instance{Libsvm: "1:0.7 2:0.2"}
+	for _, tc := range []struct {
+		name string
+		task string
+	}{{"svr", "epsilon_svr"}, {"oc", "one_class"}} {
+		for _, batch := range []int{1, 2} { // 1 = coalesced path, 2 = direct path
+			inst := make([]Instance, batch)
+			for i := range inst {
+				inst[i] = probe
+			}
+			resp, raw := postJSON(t, ts.URL+"/v1/predict", PredictRequest{Model: tc.name, Instances: inst})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s batch=%d: status %d: %s", tc.name, batch, resp.StatusCode, raw)
+			}
+			var pr PredictResponse
+			if err := json.Unmarshal(raw, &pr); err != nil {
+				t.Fatal(err)
+			}
+			if pr.Task != tc.task {
+				t.Errorf("%s batch=%d: task %q, want %q", tc.name, batch, pr.Task, tc.task)
+			}
+			for i, p := range pr.Predictions {
+				switch tc.name {
+				case "svr":
+					if p.Label != p.Decision {
+						t.Errorf("svr batch=%d pred %d: label %v != decision %v", batch, i, p.Label, p.Decision)
+					}
+				case "oc":
+					want := -1.0
+					if p.Decision >= 0 {
+						want = 1
+					}
+					if p.Label != want {
+						t.Errorf("oc batch=%d pred %d: label %v, want %v (decision %v)", batch, i, p.Label, want, p.Decision)
+					}
+				}
+			}
+		}
+	}
+
+	// /v1/models reports each endpoint's task.
+	resp, raw := postJSONGet(t, ts.URL+"/v1/models")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("models: status %d", resp.StatusCode)
+	}
+	var ml struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(raw, &ml); err != nil {
+		t.Fatal(err)
+	}
+	tasks := map[string]string{}
+	for _, mi := range ml.Models {
+		tasks[mi.Name] = mi.Task
+	}
+	if tasks["svr"] != "epsilon_svr" || tasks["oc"] != "one_class" {
+		t.Errorf("model list tasks = %v", tasks)
+	}
+}
+
+func postJSONGet(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestTaskHotReloadStress mirrors TestHotReloadStress for an SVR endpoint:
+// predictors hammer the endpoint while the reloader alternates the model
+// file between two betas, with periodic poison writes of a one-class model
+// whose reload must be rejected without disturbing the serving snapshot.
+// Every response must match the beta of the version it claims was served,
+// and only successful (same-kind) reloads may advance the version.
+func TestTaskHotReloadStress(t *testing.T) {
+	const (
+		predictors = 8
+		requests   = 120 // per predictor
+		reloads    = 90
+		betaA      = 0.25 // odd versions (the initial Add is version 1)
+		betaB      = 5.25 // even versions
+	)
+	dir := t.TempDir()
+	path := dir + "/svr.model"
+	saveModel(t, svrTestModel(betaA), path)
+
+	reg := NewRegistry()
+	if err := reg.Add("svr", path); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{})
+	defer s.Close()
+	handler := s.Handler()
+
+	probe := "1:0.7 2:0.2"
+	probeRow, err := dataset.ParseRow(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawDV := svrTestModel(0).DecisionValue(probeRow)
+
+	body, err := json.Marshal(PredictRequest{Model: "svr", Instances: []Instance{{Libsvm: probe}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, predictors+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 2; v <= reloads+1; v++ {
+			if v%7 == 0 {
+				// Poison write: a one-class file must be rejected and must
+				// not advance the version.
+				if err := oneClassTestModel().Save(path); err != nil {
+					errc <- fmt.Errorf("reload %d: poison save: %w", v, err)
+					return
+				}
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/models/svr/reload", nil))
+				if rec.Code == http.StatusOK {
+					errc <- fmt.Errorf("reload %d: one-class poison accepted on SVR endpoint", v)
+					return
+				}
+			}
+			beta := betaA
+			if v%2 == 0 {
+				beta = betaB
+			}
+			if err := svrTestModel(beta).Save(path); err != nil {
+				errc <- fmt.Errorf("reload %d: save: %w", v, err)
+				return
+			}
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/models/svr/reload", nil))
+			if rec.Code != http.StatusOK {
+				errc <- fmt.Errorf("reload %d: status %d: %s", v, rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < predictors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				handler.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errc <- fmt.Errorf("predictor %d req %d: status %d: %s", g, i, rec.Code, rec.Body.String())
+					return
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &pr); err != nil {
+					errc <- fmt.Errorf("predictor %d req %d: %w", g, i, err)
+					return
+				}
+				if pr.Task != "epsilon_svr" || len(pr.Predictions) != 1 {
+					errc <- fmt.Errorf("predictor %d req %d: response %+v", g, i, pr)
+					return
+				}
+				p := pr.Predictions[0]
+				if p.Label != p.Decision {
+					errc <- fmt.Errorf("predictor %d req %d: SVR label %v != decision %v", g, i, p.Label, p.Decision)
+					return
+				}
+				if pr.Version < 1 || pr.Version > reloads+1 {
+					errc <- fmt.Errorf("predictor %d req %d: version %d out of range", g, i, pr.Version)
+					return
+				}
+				wantBeta := betaA
+				if pr.Version%2 == 0 {
+					wantBeta = betaB
+				}
+				if math.Abs(p.Decision-(rawDV-wantBeta)) > 1e-9 {
+					errc <- fmt.Errorf("predictor %d req %d: version %d decision %v, want %v (torn snapshot?)",
+						g, i, pr.Version, p.Decision, rawDV-wantBeta)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	snap, ok := reg.Get("svr")
+	if !ok {
+		t.Fatal("svr model vanished")
+	}
+	if snap.Version != reloads+1 {
+		t.Errorf("final version %d, want %d (poison reloads must not advance it)", snap.Version, reloads+1)
+	}
+	if snap.Model.TaskKind() != model.TaskSVR {
+		t.Errorf("final task %s, want epsilon_svr", snap.Model.TaskKind())
+	}
+}

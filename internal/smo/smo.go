@@ -61,6 +61,33 @@ type Config struct {
 	InitialAlpha []float64
 	// MaxIter bounds the iteration count; 0 means a generous default.
 	MaxIter int64
+
+	// LinearTerm is the per-sample linear term p_i of the generalized dual
+	//
+	//	min ½ sum_ij alpha_i alpha_j y_i y_j K_ij + sum_i p_i alpha_i
+	//
+	// in which the classification dual is p_i = -1 (nil selects it, and is
+	// bit-identical to the historical behavior). Task formulations
+	// (internal/tasks) use it to express epsilon-SVR's per-sample terms
+	// epsilon -/+ z_i and the one-class SVM's zero linear term. The
+	// gradient bookkeeping generalizes transparently: gamma_i starts at
+	// y_i*p_i and the pairwise updates are unchanged.
+	LinearTerm []float64
+	// BoxC, when non-nil, gives each sample its own upper bound
+	// [0, BoxC[i]] instead of the uniform [0, C]. C must still be positive
+	// (it scales tolerance bounds and is recorded in the model); solvers
+	// that pass BoxC typically set C to the maximum entry.
+	BoxC []float64
+	// EqualityTarget is the value of sum_i alpha_i*y_i the dual's equality
+	// constraint pins (0 for classification and epsilon-SVR, 1 for the
+	// one-class SVM). SMO pair updates preserve the sum, so a nonzero
+	// target requires InitialAlpha meeting it; TrainQP validates that.
+	EqualityTarget float64
+
+	// skipModel suppresses assembling a classifier model in the result;
+	// TrainQP sets it because task solvers (SVR's doubled variables)
+	// assemble their own model from the raw dual point.
+	skipModel bool
 	// RecordTrace records the run's shrink/reconstruction schedule for the
 	// performance model (used when modeling the baseline at full dataset
 	// size, where its kernel cache no longer fits).
@@ -102,7 +129,14 @@ func (c *Config) withDefaults(n int) Config {
 
 // Result carries the trained model and training statistics.
 type Result struct {
-	Model           *model.Model
+	Model *model.Model
+	// Alpha is the final dual point (one entry per sample). TrainQP
+	// callers assemble task-specific models from it; Train fills it too so
+	// warm-start chains need not recover alphas from the model.
+	Alpha []float64
+	// Beta is the threshold of the verified band (the model's rho);
+	// meaningful even when Model is nil (TrainQP).
+	Beta            float64
 	Iterations      int64
 	KernelEvals     uint64
 	CacheHits       uint64
@@ -118,6 +152,36 @@ type Result struct {
 
 // Train runs the baseline SMO solver on (x, y) with labels in {+1, -1}.
 func Train(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
+	hasPos, hasNeg := false, false
+	for _, v := range y {
+		switch v {
+		case 1:
+			hasPos = true
+		case -1:
+			hasNeg = true
+		}
+	}
+	if len(y) > 0 && (!hasPos || !hasNeg) {
+		return nil, errors.New("smo: training set must contain both classes")
+	}
+	return train(x, y, cfg)
+}
+
+// TrainQP runs the solver on a generalized QP: labels are constraint signs
+// in {+1, -1} (a single sign throughout is allowed — the one-class SVM has
+// all +1), LinearTerm and BoxC shape the objective and feasible box, and
+// EqualityTarget pins sum_i alpha_i*y_i. It returns the raw dual point
+// (Result.Alpha, Result.Beta) without assembling a classifier model;
+// internal/tasks builds task-specific models from it.
+func TrainQP(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
+	cfg.skipModel = true
+	if cfg.EqualityTarget != 0 && cfg.InitialAlpha == nil {
+		return nil, fmt.Errorf("smo: equality target %v is unreachable from the cold start alpha=0 (pair updates preserve sum alpha*y); provide a feasible InitialAlpha", cfg.EqualityTarget)
+	}
+	return train(x, y, cfg)
+}
+
+func train(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 	n := x.Rows()
 	if n < 2 {
 		return nil, fmt.Errorf("smo: need at least 2 samples, got %d", n)
@@ -131,22 +195,26 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*Result, error) {
 	if err := cfg.Kernel.Validate(); err != nil {
 		return nil, err
 	}
-	hasPos, hasNeg := false, false
 	for i, v := range y {
-		switch v {
-		case 1:
-			hasPos = true
-		case -1:
-			hasNeg = true
-		default:
+		if v != 1 && v != -1 {
 			return nil, fmt.Errorf("smo: label %d is %v, want +1 or -1", i, v)
 		}
 	}
-	if !hasPos || !hasNeg {
-		return nil, errors.New("smo: training set must contain both classes")
+	if cfg.LinearTerm != nil && len(cfg.LinearTerm) != n {
+		return nil, fmt.Errorf("smo: %d linear-term entries for %d samples", len(cfg.LinearTerm), n)
+	}
+	if cfg.BoxC != nil {
+		if len(cfg.BoxC) != n {
+			return nil, fmt.Errorf("smo: %d box bounds for %d samples", len(cfg.BoxC), n)
+		}
+		for i, c := range cfg.BoxC {
+			if math.IsNaN(c) || c <= 0 {
+				return nil, fmt.Errorf("smo: box bound %d is %v, want positive", i, c)
+			}
+		}
 	}
 	if cfg.InitialAlpha != nil {
-		if err := validateInitialAlpha(cfg.InitialAlpha, y, cfg.C); err != nil {
+		if err := validateInitialAlpha(cfg.InitialAlpha, y, &cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -191,6 +259,7 @@ type state struct {
 	shrinkEvents    int
 	reconstructions int
 	converged       bool
+	warm            bool // warm-started from a non-zero dual point
 	trace           *trace.Trace
 
 	betaUp, betaLow float64
@@ -211,7 +280,10 @@ func newState(x *sparse.Matrix, y []float64, cfg Config) *state {
 		rows:    cache.New(cfg.CacheBytes),
 	}
 	for i := 0; i < n; i++ {
-		s.gamma[i] = -y[i] // Algorithm 1 line 1: gamma_i <- -y_i, alpha_i <- 0
+		// Algorithm 1 line 1: gamma_i <- y_i*p_i, alpha_i <- 0. The
+		// classification p_i = -1 gives the historical -y_i (float
+		// negation is exact, so y*(-1) is bit-identical to -y).
+		s.gamma[i] = y[i] * s.pAt(i)
 		s.active[i] = true
 	}
 	s.pool = kernel.NewRowPool(s.ev, cfg.Workers)
@@ -229,48 +301,74 @@ func newState(x *sparse.Matrix, y []float64, cfg Config) *state {
 
 // validateInitialAlpha rejects warm starts that violate the box or
 // equality constraint of the dual; those are not fixable by SMO updates.
-func validateInitialAlpha(alpha, y []float64, c float64) error {
+func validateInitialAlpha(alpha, y []float64, cfg *Config) error {
 	if len(alpha) != len(y) {
 		return fmt.Errorf("smo: %d initial alphas for %d samples", len(alpha), len(y))
 	}
 	var eq, mass float64
 	for i, a := range alpha {
+		c := cfg.C
+		if cfg.BoxC != nil {
+			c = cfg.BoxC[i]
+		}
 		if math.IsNaN(a) || a < 0 || a > c*(1+1e-9) {
 			return fmt.Errorf("smo: initial alpha %d = %v outside [0, C=%v]", i, a, c)
 		}
 		eq += a * y[i]
 		mass += a
 	}
-	if math.Abs(eq) > 1e-6*(1+mass) {
-		return fmt.Errorf("smo: initial alphas violate sum alpha_i*y_i = 0 (residual %v)", eq)
+	if math.Abs(eq-cfg.EqualityTarget) > 1e-6*(1+mass) {
+		return fmt.Errorf("smo: initial alphas violate sum alpha_i*y_i = %v (got %v)", cfg.EqualityTarget, eq)
 	}
 	return nil
 }
 
+// boxAt returns sample i's upper bound: BoxC[i] when per-sample boxes are
+// set, the uniform C otherwise.
+func (s *state) boxAt(i int) float64 {
+	if s.cfg.BoxC != nil {
+		return s.cfg.BoxC[i]
+	}
+	return s.cfg.C
+}
+
+// pAt returns sample i's linear term, -1 (classification) when unset.
+func (s *state) pAt(i int) float64 {
+	if s.cfg.LinearTerm != nil {
+		return s.cfg.LinearTerm[i]
+	}
+	return -1
+}
+
 // warmStart installs the initial dual point and rebuilds every gradient
-// from its non-zero entries: gamma_i = sum_j alpha_j y_j K(j,i) - y_i.
+// from its non-zero entries: gamma_i = sum_j alpha_j y_j K(j,i) + y_i*p_i.
+//
+// The rebuild is row-driven through the kernel cache rather than
+// target-driven like reconstruction: each support vector's full row is
+// fetched once via getRow/fillActive and accumulated into every gradient.
+// The eval count is the same nSV*n either way, but the iterations that
+// follow work almost entirely on these same support vectors, so the rows
+// computed here are cache hits later — the warm start doubles as a
+// prefetch instead of work the cache would repeat from scratch.
 func (s *state) warmStart(alpha0 []float64) {
-	c := s.cfg.C
 	for i, a := range alpha0 {
-		if a > c {
+		if c := s.boxAt(i); a > c {
 			a = c // tolerated rounding excess from validateInitialAlpha
 		}
 		s.alpha[i] = a
 	}
-	var svs []int
 	for j, a := range s.alpha {
-		if a > 0 {
-			svs = append(svs, j)
+		if a == 0 {
+			continue // gamma already holds the cold start y_j*p_j
+		}
+		s.warm = true
+		row := s.getRow(j)
+		s.fillActive(j, row) // everything is active: fills the full row
+		c := a * s.y[j]
+		for i, v := range row {
+			s.gamma[i] += c * v
 		}
 	}
-	if len(svs) == 0 {
-		return // gradients already hold the cold start -y_i
-	}
-	targets := make([]int, len(s.alpha))
-	for i := range targets {
-		targets[i] = i
-	}
-	s.rebuildGradients(svs, targets)
 }
 
 // selectPair scans the active set for the worst KKT violators (Eq. 3).
@@ -284,10 +382,10 @@ func (s *state) selectPair() {
 		if !s.active[i] {
 			continue
 		}
-		if solver.InUp(s.y[i], s.alpha[i], s.cfg.C) && s.gamma[i] < s.betaUp {
+		if solver.InUp(s.y[i], s.alpha[i], s.boxAt(i)) && s.gamma[i] < s.betaUp {
 			s.betaUp, s.iUp = s.gamma[i], i
 		}
-		if solver.InLow(s.y[i], s.alpha[i], s.cfg.C) && s.gamma[i] > s.betaLow {
+		if solver.InLow(s.y[i], s.alpha[i], s.boxAt(i)) && s.gamma[i] > s.betaLow {
 			s.betaLow, s.iLow = s.gamma[i], i
 		}
 	}
@@ -302,7 +400,7 @@ func (s *state) selectSecondOrder(u int, rowU []float64) int {
 	gU := s.gamma[u]
 	kUU := kernelAt(s.ev, rowU, u, u)
 	for j := range s.alpha {
-		if !s.active[j] || !solver.InLow(s.y[j], s.alpha[j], s.cfg.C) {
+		if !s.active[j] || !solver.InLow(s.y[j], s.alpha[j], s.boxAt(j)) {
 			continue
 		}
 		b := s.gamma[j] - gU
@@ -378,6 +476,17 @@ func (s *state) fillActive(u int, row []float64) {
 
 func (s *state) run() error {
 	shrinkCountdown := s.cfg.ShrinkEvery
+	if s.warm && s.cfg.Shrinking {
+		// A warm start sits near an optimum, so the violation band is
+		// already tight: shrinking after the first iteration (instead of
+		// waiting a full ShrinkEvery period like a cold start must, while
+		// its gradients are still far off) collapses the active set to
+		// roughly the support vectors immediately. Fresh kernel rows and
+		// working-set scans then cost ~|active| instead of ~n for the
+		// whole run; any over-shrunk sample is caught by the
+		// reconstruct-and-unshrink pass at convergence, as usual.
+		shrinkCountdown = 1
+	}
 	for {
 		s.selectPair()
 		if s.iUp < 0 || s.iLow < 0 || solver.Converged(s.betaUp, s.betaLow, s.cfg.Eps) {
@@ -412,8 +521,8 @@ func (s *state) run() error {
 		kLL := kernelAt(s.ev, rowL, l, l)
 		kUL := kernelAt(s.ev, rowU, u, l)
 		rowL[u] = kUL // symmetric
-		st := solver.OptimizePair(s.gamma[u], s.gamma[l], s.y[u], s.y[l],
-			s.alpha[u], s.alpha[l], kUU, kLL, kUL, s.cfg.C)
+		st := solver.OptimizePairBox(s.gamma[u], s.gamma[l], s.y[u], s.y[l],
+			s.alpha[u], s.alpha[l], kUU, kLL, kUL, s.boxAt(u), s.boxAt(l))
 		s.alpha[u] = st.NewAlphaUp
 		s.alpha[l] = st.NewAlphaLow
 
@@ -501,7 +610,7 @@ func (s *state) shrink() {
 		if !s.active[i] {
 			continue
 		}
-		set := solver.Classify(s.y[i], s.alpha[i], s.cfg.C)
+		set := solver.Classify(s.y[i], s.alpha[i], s.boxAt(i))
 		if solver.Shrinkable(set, s.gamma[i], s.betaUp, s.betaLow) {
 			s.active[i] = false
 			s.nActive--
@@ -578,7 +687,9 @@ func (s *state) reconstructChunk(ev *kernel.Evaluator, scr *kernel.Scratch, buf 
 		for k := range svs {
 			g += coef[k] * buf[k]
 		}
-		s.gamma[i] = g - s.y[i]
+		// g + y_i*p_i; classification's p_i = -1 keeps the historical
+		// g - y_i bit-identically (adding -y equals subtracting y).
+		s.gamma[i] = g + s.y[i]*s.pAt(i)
 	}
 }
 
@@ -598,20 +709,12 @@ func (s *state) result() *Result {
 		if a > 0 {
 			svIdx = append(svIdx, i)
 		}
-		if solver.Classify(s.y[i], a, s.cfg.C) == solver.I0 {
+		if solver.Classify(s.y[i], a, s.boxAt(i)) == solver.I0 {
 			sumG += s.gamma[i]
 			nI0++
 		}
 	}
 	beta := solver.Threshold(sumG, nI0, s.betaUp, s.betaLow)
-	sv, err := s.x.SelectRows(svIdx)
-	if err != nil {
-		panic("smo: internal: " + err.Error()) // indices come from range loop
-	}
-	coef := make([]float64, len(svIdx))
-	for k, i := range svIdx {
-		coef[k] = s.alpha[i] * s.y[i]
-	}
 	evals := s.ev.Evals() + s.pool.Evals()
 	hits, misses, evictions := s.rows.Stats()
 	if s.trace != nil {
@@ -619,16 +722,9 @@ func (s *state) result() *Result {
 		s.trace.Converged = s.converged
 		s.trace.SVCount = len(svIdx)
 	}
-	return &Result{
-		Model: &model.Model{
-			Kernel:       s.cfg.Kernel,
-			C:            s.cfg.C,
-			SV:           sv,
-			Coef:         coef,
-			Beta:         beta,
-			TrainSamples: len(s.alpha),
-			Iterations:   s.iter,
-		},
+	res := &Result{
+		Alpha:           append([]float64(nil), s.alpha...),
+		Beta:            beta,
 		Iterations:      s.iter,
 		KernelEvals:     evals,
 		CacheHits:       hits,
@@ -637,7 +733,28 @@ func (s *state) result() *Result {
 		Reconstructions: s.reconstructions,
 		ShrinkEvents:    s.shrinkEvents,
 		Converged:       s.converged,
-		Objective:       solver.DualObjective(s.alpha, s.y, s.gamma),
+		Objective:       solver.DualObjectiveQP(s.alpha, s.y, s.gamma, s.cfg.LinearTerm),
 		Trace:           s.trace,
 	}
+	if s.cfg.skipModel {
+		return res
+	}
+	sv, err := s.x.SelectRows(svIdx)
+	if err != nil {
+		panic("smo: internal: " + err.Error()) // indices come from range loop
+	}
+	coef := make([]float64, len(svIdx))
+	for k, i := range svIdx {
+		coef[k] = s.alpha[i] * s.y[i]
+	}
+	res.Model = &model.Model{
+		Kernel:       s.cfg.Kernel,
+		C:            s.cfg.C,
+		SV:           sv,
+		Coef:         coef,
+		Beta:         beta,
+		TrainSamples: len(s.alpha),
+		Iterations:   s.iter,
+	}
+	return res
 }

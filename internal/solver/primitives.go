@@ -83,6 +83,15 @@ type Step struct {
 // stay within [0, C]. For gammaUp < gammaLow (a violating pair) the step
 // is strictly negative unless the box forbids any progress.
 func OptimizePair(gammaUp, gammaLow, yUp, yLow, alphaUp, alphaLow, kUU, kLL, kUL, c float64) Step {
+	return OptimizePairBox(gammaUp, gammaLow, yUp, yLow, alphaUp, alphaLow, kUU, kLL, kUL, c, c)
+}
+
+// OptimizePairBox is OptimizePair with per-sample upper bounds: alphaUp
+// stays within [0, cUp] and alphaLow within [0, cLow]. Task-formulation
+// QPs (internal/tasks) use it to express boxes like the one-class
+// [0, 1/(nu*n)]; OptimizePair delegates here with cUp = cLow = C, so the
+// classification path performs bitwise identical arithmetic.
+func OptimizePairBox(gammaUp, gammaLow, yUp, yLow, alphaUp, alphaLow, kUU, kLL, kUL, cUp, cLow float64) Step {
 	eta := kUU + kLL - 2*kUL
 	if eta <= Tau {
 		// Degenerate (duplicate or near-duplicate samples): fall back to
@@ -91,10 +100,10 @@ func OptimizePair(gammaUp, gammaLow, yUp, yLow, alphaUp, alphaLow, kUU, kLL, kUL
 	}
 	t := (gammaUp - gammaLow) / eta
 
-	// Feasibility: alphaLow + yLow*t in [0, C] and alphaUp - yUp*t in [0, C].
+	// Feasibility: alphaLow + yLow*t in [0, cLow] and alphaUp - yUp*t in [0, cUp].
 	tMin := math.Inf(-1)
 	tMax := math.Inf(1)
-	clampDir := func(coef, alpha float64) {
+	clampDir := func(coef, alpha, c float64) {
 		// alpha + coef*t in [0, C]
 		lo, hi := -alpha/coef, (c-alpha)/coef
 		if coef < 0 {
@@ -103,8 +112,8 @@ func OptimizePair(gammaUp, gammaLow, yUp, yLow, alphaUp, alphaLow, kUU, kLL, kUL
 		tMin = math.Max(tMin, lo)
 		tMax = math.Min(tMax, hi)
 	}
-	clampDir(yLow, alphaLow)
-	clampDir(-yUp, alphaUp)
+	clampDir(yLow, alphaLow, cLow)
+	clampDir(-yUp, alphaUp, cUp)
 	if t < tMin {
 		t = tMin
 	}
@@ -115,8 +124,8 @@ func OptimizePair(gammaUp, gammaLow, yUp, yLow, alphaUp, alphaLow, kUU, kLL, kUL
 	newLow := alphaLow + yLow*t
 	newUp := alphaUp - yUp*t
 	// Snap to the box boundaries so index-set classification stays exact.
-	newLow = snap(newLow, c)
-	newUp = snap(newUp, c)
+	newLow = snap(newLow, cLow)
+	newUp = snap(newUp, cUp)
 	return Step{
 		T:           t,
 		NewAlphaUp:  newUp,
@@ -199,4 +208,23 @@ func DualObjective(alpha, y, gamma []float64) float64 {
 		w += alpha[i] * (1 - y[i]*gamma[i])
 	}
 	return w / 2
+}
+
+// DualObjectiveQP generalizes DualObjective to a per-sample linear term p
+// (the classification dual has p_i = -1): for the QP
+//
+//	min ½ sum_ij alpha_i alpha_j y_i y_j K_ij + sum_i p_i alpha_i
+//
+// with gamma_i = y_i*p_i + sum_j alpha_j y_j K_ij, the (max-form) objective
+// is W = -½ sum_i alpha_i (y_i*gamma_i + p_i). A nil p selects the
+// classification convention and is bit-identical to DualObjective.
+func DualObjectiveQP(alpha, y, gamma, p []float64) float64 {
+	if p == nil {
+		return DualObjective(alpha, y, gamma)
+	}
+	var w float64
+	for i := range alpha {
+		w += alpha[i] * (y[i]*gamma[i] + p[i])
+	}
+	return -w / 2
 }
