@@ -1,5 +1,5 @@
-// Command svmtrain trains an SVM classifier with the paper's distributed
-// solver (or the libsvm-enhanced baseline) and writes a model file.
+// Command svmtrain trains an SVM classifier with any registered solver
+// engine and writes a model file.
 //
 // Train a libsvm-format file with the best heuristic on 8 ranks:
 //
@@ -9,8 +9,10 @@
 //
 //	svmtrain -dataset mnist38 -dataset-scale 0.05 -model out.model -p 4
 //
-// The -solver flag selects the engine: "core" (the paper's algorithm,
-// default), "smo" (the libsvm-enhanced baseline), "dc"
+// The -solver flag selects an engine from the solver registry
+// (-list-solvers prints the table): "core" (the paper's distributed
+// algorithm, default), "smo" (the libsvm-enhanced baseline), "smo2" (the
+// baseline with libsvm's second-order working-set selection), "dc"
 // (divide-and-conquer: cluster, solve sub-problems in parallel, coalesce
 // support vectors, polish), or "linear" (the explicit-w fast path for
 // linear kernels: dual coordinate descent or the incremental MISO primal
@@ -19,18 +21,24 @@
 //	svmtrain -dataset blobs -dataset-scale 1 -solver dc -dc-clusters 8 -seed 42
 //	svmtrain -dataset rcv1 -dataset-scale 0.1 -solver linear -linear-variant dcd
 //
+// Engine-conditional flags are validated against the selected engine's
+// declared capabilities before any data loads: -stream needs a streaming
+// engine, -checkpoint-dir a checkpointing one, -heuristic a Table II
+// engine, and so on — the error names the engines that would accept the
+// flag.
+//
 // The -verify flag re-checks the trained model against the QP with the
 // correctness oracle (per-sample KKT violations and the duality gap) and
 // prints the report; the exit status is nonzero if the model is not an
-// eps-approximate optimum. The linear solver is verified against its own
-// linear QP (hinge for dcd, squared hinge for miso) via the same oracle
-// package:
+// eps-approximate optimum. Linear-only engines are verified against their
+// own linear QP (hinge for dcd, squared hinge for miso) via the same
+// oracle package:
 //
 //	svmtrain -dataset blobs -dataset-scale 0.5 -verify
 //
-// The -task flag switches to a task variant solved by the generalized SMO
-// engine: "svr" trains epsilon-SVR on continuous -data labels, "oneclass"
-// trains a nu one-class detector (labels ignored). -update-from performs an
+// The -task flag switches to a task variant trained by the "tasks" engine:
+// "svr" trains epsilon-SVR on continuous -data labels, "oneclass" trains a
+// nu one-class detector (labels ignored). -update-from performs an
 // incremental warm-start update of an existing model (any task kind) on its
 // training rows plus appended rows; -verify routes each task through its
 // own oracle verifier:
@@ -50,32 +58,34 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/cv"
 	"repro/internal/dataset"
-	"repro/internal/dcsvm"
 	"repro/internal/kernel"
 	"repro/internal/linear"
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/oracle"
 	"repro/internal/probability"
-	"repro/internal/smo"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/tasks"
-)
 
-var solverNames = []string{"core", "smo", "dc", "linear"}
+	_ "repro/internal/engines"
+)
 
 func main() {
 	if err := run(); err != nil {
@@ -90,10 +100,11 @@ func run() error {
 		dsName    = flag.String("dataset", "", "built-in synthetic dataset name instead of -data")
 		dsScale   = flag.Float64("dataset-scale", 0.01, "scale for -dataset generation")
 		modelPath = flag.String("model", "svm.model", "output model file")
-		tracePath = flag.String("trace", "", "optional output JSON trace (core solver only)")
-		solverSel = flag.String("solver", "core", `"core" (distributed, the paper), "smo" (libsvm-enhanced baseline), "dc" (divide-and-conquer), or "linear" (explicit-w linear fast path)`)
-		p         = flag.Int("p", 4, "number of ranks (core solver)")
-		heuristic = flag.String("heuristic", "Multi5pc", "Table II heuristic name (core and dc solvers)")
+		tracePath = flag.String("trace", "", "optional output JSON trace (trace-capable engines)")
+		solverSel = flag.String("solver", "core", "registered solver engine; -list-solvers prints the table")
+		listSol   = flag.Bool("list-solvers", false, "print the registered solver engines with capabilities and exit")
+		p         = flag.Int("p", 4, "number of ranks (distributed engines)")
+		heuristic = flag.String("heuristic", "Multi5pc", "Table II heuristic name (heuristic-capable engines)")
 		c         = flag.Float64("c", 10, "box constraint C")
 		sigma2    = flag.Float64("sigma2", 4, "Gaussian kernel width sigma^2 (gamma = 1/(2*sigma^2))")
 		kern      = flag.String("kernel", "rbf", "kernel: rbf, linear, polynomial, sigmoid")
@@ -101,8 +112,8 @@ func run() error {
 		coef0     = flag.Float64("coef0", 0, "polynomial/sigmoid coef0")
 		degree    = flag.Int("degree", 3, "polynomial degree")
 		eps       = flag.Float64("eps", 1e-3, "tolerance epsilon")
-		workers   = flag.Int("workers", 0, "worker goroutines (smo solver; 0 = all cores)")
-		calibrate = flag.Bool("probability", false, "fit Platt probability outputs via 3-fold CV (core solver)")
+		workers   = flag.Int("workers", 0, "worker goroutines (smo-family engines; 0 = all cores)")
+		calibrate = flag.Bool("probability", false, "fit Platt probability outputs via 3-fold CV")
 		seed      = flag.Int64("seed", 7, "seed for dataset generation, CV fold shuffling, and dc clustering")
 		verify    = flag.Bool("verify", false, "after training, verify the model against the QP (KKT violations, duality gap) and print the oracle report; exit nonzero on failure")
 		quiet     = flag.Bool("q", false, "suppress the summary")
@@ -112,7 +123,7 @@ func run() error {
 		ckptMinGap = flag.Duration("checkpoint-min-interval", 100*time.Millisecond, "debounce: skip a checkpoint arriving sooner than this after the previous one (0 = save on every trigger)")
 		resume     = flag.Bool("resume", false, "resume from the newest valid checkpoint in -checkpoint-dir instead of starting cold")
 
-		crashRank    = flag.Int("inject-crash-rank", -1, "fault injection: rank to kill (core solver, or dc core sub-solves); -1 = off")
+		crashRank    = flag.Int("inject-crash-rank", -1, "fault injection: rank to kill (fault-inject-capable engines); -1 = off")
 		crashAt      = flag.Int64("inject-crash-at", 0, "fault injection: kill the rank at its Nth point-to-point operation (requires -inject-crash-rank >= 0)")
 		crashCluster = flag.Int("inject-crash-cluster", 0, "fault injection: dc cluster whose sub-solve receives the fault plan (dc solver)")
 
@@ -121,32 +132,31 @@ func run() error {
 		dcPolish      = flag.Bool("dc-polish", true, "run the warm-started polish to convergence (false = early stop, polish capped at 100 iterations)")
 		dcPolishFull  = flag.Bool("dc-polish-full", false, "polish over the full training set instead of the SV union; slower but eps-optimal on the full QP (required for -verify to pass)")
 		dcKernelSpace = flag.Bool("dc-kernel-space", false, "cluster in kernel feature space instead of input space")
-		dcSubSolver   = flag.String("dc-subsolver", "core", `dc sub-problem engine: "core" or "smo"`)
+		dcSubSolver   = flag.String("dc-subsolver", "core", "dc sub-problem engine: any registered non-composite kernel classifier (core, smo, smo2, ...)")
 
 		linVariant = flag.String("linear-variant", "dcd", `linear solver variant: "dcd" (dual coordinate descent, hinge) or "miso" (incremental primal, squared hinge)`)
 		linEpochs  = flag.Int("linear-epochs", 0, "linear solver epoch cap (0 = variant default)")
 		linNoShrnk = flag.Bool("linear-no-shrink", false, "disable active-set shrinking in the linear dcd variant")
 
-		taskSel    = flag.String("task", "", `task variant: "svr" (epsilon-SVR regression) or "oneclass" (nu one-class anomaly detection); empty = binary classification. Task models train with the generalized SMO engine; -data labels are regression targets for svr and ignored for oneclass`)
+		taskSel    = flag.String("task", "", `task variant: "svr" (epsilon-SVR regression) or "oneclass" (nu one-class anomaly detection); empty = binary classification. Task models train with the "tasks" engine; -data labels are regression targets for svr and ignored for oneclass`)
 		svrEps     = flag.Float64("svr-epsilon", 0.1, "epsilon tube half-width (-task svr)")
 		nuParam    = flag.Float64("nu", 0.5, "nu in (0, 1]: upper bound on the training outlier fraction (-task oneclass)")
 		updateFrom = flag.String("update-from", "", "incremental update: warm-start from this base model's recovered dual point; -data must hold the base training rows followed by the appended rows (any task kind, including classifiers)")
 
-		streamLoad = flag.Bool("stream", false, "out-of-core load: parse -data in chunks, spill CSR blocks to a temp file, and train with resident memory bounded by -mem-budget (linear solver only; the model is bit-identical to the in-memory path)")
+		streamLoad = flag.Bool("stream", false, "out-of-core load: parse -data in chunks, spill CSR blocks to a temp file, and train with resident memory bounded by -mem-budget (streaming-capable engines; the model is bit-identical to the in-memory path)")
 		memBudget  = flag.String("mem-budget", "256MiB", "resident-block budget for -stream (e.g. 8388608, 64MiB, 1G)")
 		shards     = flag.Int("shards", 0, "load -data as N shards parsed in parallel: N byte ranges of one file, or N pre-split <data>.NNN-of-NNN files; the core solver trains one rank per shard (-shards must equal -p)")
 	)
 	flag.Parse()
 
-	// Validate enum-valued flags before touching any data so typos fail in
-	// milliseconds, not after a multi-minute load.
-	if !validSolver(*solverSel) {
-		return fmt.Errorf("unknown -solver %q (valid: %s)", *solverSel, strings.Join(solverNames, ", "))
+	if *listSol {
+		return printSolvers(os.Stdout)
 	}
+
 	if *taskSel != "" || *updateFrom != "" {
-		// Task variants and incremental updates route through internal/tasks
-		// (the generalized SMO engine); the distributed/dc/linear machinery
-		// and the classifier-only extras do not apply.
+		// Task variants and incremental updates route through the "tasks"
+		// engine; the distributed/dc/linear machinery and the
+		// classifier-only extras do not apply.
 		for _, f := range []string{"solver", "dataset", "probability", "stream", "shards", "trace", "resume", "p", "heuristic"} {
 			if flagWasSet(f) {
 				return fmt.Errorf("-%s does not apply to -task/-update-from runs", f)
@@ -165,38 +175,49 @@ func run() error {
 	} else if flagWasSet("svr-epsilon") || flagWasSet("nu") {
 		return fmt.Errorf("-svr-epsilon/-nu require -task")
 	}
-	var h core.Heuristic
-	if *solverSel == "core" || *solverSel == "dc" {
-		var err error
-		if h, err = core.HeuristicByName(*heuristic); err != nil {
+
+	// Registry lookup replaces the hand-rolled engine switch; the error
+	// lists every registered engine, so a typo is self-correcting.
+	eng, err := solver.Lookup(*solverSel)
+	if err != nil {
+		return fmt.Errorf("unknown -solver %q (registered: %s)", *solverSel, strings.Join(solver.Names(), ", "))
+	}
+	caps := eng.Capabilities()
+	if !caps.Has(solver.CapClassify) {
+		return fmt.Errorf("-solver %s does not train binary classifiers; it serves -task runs (classifier engines: %s)",
+			eng.Name(), strings.Join(solver.WithCapability(solver.CapClassify), ", "))
+	}
+
+	// Every engine-conditional flag is validated against the engine's
+	// declared capabilities, from one table shared with svmtune — before
+	// any data is touched, so typos fail in milliseconds, not after a
+	// multi-minute load.
+	if err := solver.CheckFlags(eng, flagWasSet, solver.TrainFlagRules); err != nil {
+		return err
+	}
+
+	// Structural checks that relate flags to each other (capability checks
+	// above relate flags to the engine).
+	if caps.Has(solver.CapHeuristics) {
+		if _, err := core.HeuristicByName(*heuristic); err != nil {
 			return err
 		}
 	}
 	var linVar linear.Variant
-	if *solverSel == "linear" {
-		var err error
+	if caps.Has(solver.CapLinearVariants) {
 		if linVar, err = linear.ParseVariant(*linVariant); err != nil {
 			return err
 		}
-		// The linear fast path is the linear kernel by construction; an
+	}
+	if !caps.Has(solver.CapKernels) {
+		// A linear-only engine is the linear kernel by construction; an
 		// explicit non-linear -kernel is a contradiction, not a request.
 		if flagWasSet("kernel") && *kern != "linear" {
-			return fmt.Errorf("-solver linear trains a linear model; -kernel %s is incompatible", *kern)
+			return fmt.Errorf("-solver %s trains a linear model; -kernel %s is incompatible", eng.Name(), *kern)
 		}
 		*kern = "linear"
-		if *ckptDir != "" || *resume {
-			return fmt.Errorf("-solver linear does not support checkpointing (epochs are seconds, not hours); drop -checkpoint-dir/-resume")
-		}
-		if *crashRank >= 0 {
-			return fmt.Errorf("-solver linear runs in-process without mpi; -inject-crash-* does not apply")
-		}
-	} else if flagWasSet("linear-variant") || flagWasSet("linear-epochs") || flagWasSet("linear-no-shrink") {
-		return fmt.Errorf("-linear-* flags require -solver linear")
 	}
 	if *streamLoad {
-		if *solverSel != "linear" {
-			return fmt.Errorf("-stream requires -solver linear (the kernel engines need random access to every row; the linear solvers touch data row-at-a-time)")
-		}
 		if *dataPath == "" {
 			return fmt.Errorf("-stream requires -data (built-in datasets are generated in memory)")
 		}
@@ -210,7 +231,7 @@ func run() error {
 		if *dataPath == "" {
 			return fmt.Errorf("-shards requires -data")
 		}
-		if *solverSel == "core" && *shards != *p {
+		if eng.Name() == "core" && *shards != *p {
 			return fmt.Errorf("-solver core trains one rank per shard: -shards %d must equal -p %d", *shards, *p)
 		}
 	}
@@ -229,7 +250,6 @@ func run() error {
 		shardData   *core.ShardedData
 		cHyper      float64
 		sigma2Hyper float64
-		err         error
 	)
 	switch {
 	case *streamLoad:
@@ -242,9 +262,11 @@ func run() error {
 			return err
 		}
 		defer oocX.Close()
-	case *shards > 0 && *solverSel == "core":
+	case *shards > 0 && eng.Name() == "core":
 		// One rank per shard: parse in parallel, rebalance onto the solver's
-		// BlockRange boundaries, compose the dataset fingerprint.
+		// BlockRange boundaries, compose the dataset fingerprint. Training
+		// over the spliced rows is bit-identical to the unsharded path, so
+		// the engine call below needs only the fingerprint override.
 		shardData, err = core.LoadShardPartitions(*dataPath, *shards)
 		if err != nil {
 			return err
@@ -282,9 +304,9 @@ func run() error {
 		kp = kernel.FromSigma2(*sigma2)
 	}
 
-	// Checkpointing, resume and fault injection are shared across engines:
-	// the writer and the fault plan are built once, and each solver case
-	// threads them into its own config.
+	// Checkpointing, resume and fault injection are expressed once in the
+	// shared Options; each engine consumes the fields its capabilities
+	// declare.
 	var ckptW *ckpt.Writer
 	if *ckptDir != "" {
 		if ckptW, err = ckpt.NewWriter(*ckptDir); err != nil {
@@ -317,135 +339,100 @@ func run() error {
 		faults = mpi.FaultPlan{CrashRank: *crashRank, CrashAtOp: *crashAt}
 	}
 
+	opts := solver.Options{
+		C: *c, Eps: *eps, Seed: *seed, Workers: *workers,
+		Checkpoint: ckptW, CheckpointEvery: *ckptEvery,
+		DatasetName: *dsName,
+		Faults:      faults,
+		DC: solver.DCOptions{
+			Clusters: *dcClusters, Levels: *dcLevels, KernelSpace: *dcKernelSpace,
+			SubSolver: *dcSubSolver, PolishFull: *dcPolishFull, SubFaultCluster: *crashCluster,
+		},
+		Linear: solver.LinearOptions{Variant: *linVariant, MaxEpochs: *linEpochs, NoShrink: *linNoShrnk},
+	}
+	if caps.Has(solver.CapHeuristics) {
+		opts.Heuristic = *heuristic
+	}
+	if caps.Has(solver.CapDistributed) {
+		opts.P = *p
+	}
+	if caps.Has(solver.CapTrace) {
+		opts.RecordTrace = *tracePath != ""
+	}
+	if !*dcPolish {
+		opts.DC.PolishMaxIter = 100
+	}
+	if resumeSt != nil {
+		opts.InitialAlpha = resumeSt.Alpha
+	}
+	if shardData != nil {
+		opts.CheckpointFingerprint = shardData.Fingerprint
+	}
+
+	prob := solver.Problem{Y: y, Kernel: kp}
+	if oocX != nil {
+		prob.X = oocX
+	} else {
+		prob.X = x
+	}
+
 	start := time.Now()
-	var m *model.Model
+	var res solver.Result
 	var summary string
-	var linRes *linear.Result
-	switch *solverSel {
-	case "core":
-		cfg := core.Config{
-			Kernel: kp, C: *c, Eps: *eps, Heuristic: h,
-			RecordTrace: *tracePath != "", DatasetName: *dsName,
-			Checkpoint: ckptW, CheckpointEvery: *ckptEvery, CheckpointSeed: *seed,
-		}
-		if resumeSt != nil {
-			cfg.InitialAlpha = resumeSt.Alpha
-		}
-		var st *core.Stats
-		if shardData != nil {
-			m, st, _, err = shardData.TrainOpts(cfg, mpi.Options{Faults: faults})
-		} else {
-			m, st, _, err = core.TrainParallelOpts(x, y, *p, cfg, mpi.Options{Faults: faults})
-		}
+	if oocX != nil {
+		// Out-of-core: same engine, row access served from the spill
+		// file's LRU. Training is deterministic in (data, seed), so the
+		// model is byte-identical to the in-memory path.
+		peak := startHeapSampler()
+		res, err = eng.Train(context.Background(), prob, opts)
+		peakHeap := peak()
 		if err != nil {
 			return err
 		}
-		summary = fmt.Sprintf("converged=%v iterations=%d shrink-events=%d reconstructions=%d SVs=%d (%.1f%% of samples)",
-			st.Converged, st.Iterations, st.ShrinkEvents, st.Reconstructions,
-			st.SVCount, 100*float64(st.SVCount)/float64(x.Rows()))
-		if *tracePath != "" && st.Trace != nil {
-			if err := st.Trace.SaveJSON(*tracePath); err != nil {
-				return err
-			}
-		}
-		if *calibrate {
-			splits, err := cv.StratifiedKFold(y, 3, *seed)
-			if err != nil {
-				return fmt.Errorf("probability calibration: %w", err)
-			}
-			// CV folds are different datasets: they must train cold and
-			// must not write into the main run's checkpoint directory.
-			fcfg := cfg
-			fcfg.Checkpoint, fcfg.InitialAlpha = nil, nil
-			sig, err := probability.CalibrateCV(x, y, splits, func(fx *sparse.Matrix, fy []float64) (*model.Model, error) {
-				fm, _, err := core.TrainParallel(fx, fy, *p, fcfg)
-				return fm, err
-			})
-			if err != nil {
-				return fmt.Errorf("probability calibration: %w", err)
-			}
-			m.ProbA, m.ProbB, m.HasProb = sig.A, sig.B, true
-			summary += fmt.Sprintf(" probA=%.4f probB=%.4f", sig.A, sig.B)
-		}
-	case "smo":
-		cfg := smo.Config{
-			Kernel: kp, C: *c, Eps: *eps, Workers: *workers,
-			CacheBytes: 1 << 30, Shrinking: true,
-			Checkpoint: ckptW, CheckpointEvery: *ckptEvery, CheckpointSeed: *seed,
-		}
-		if resumeSt != nil {
-			cfg.InitialAlpha = resumeSt.Alpha
-		}
-		res, err := smo.Train(x, y, cfg)
+		loads, hits, evictions := oocX.Stats()
+		summary = fmt.Sprintf("stream: data=%s budget=%s peak-heap=%s blocks=%d loads=%d hits=%d evictions=%d\n  ",
+			dataset.FormatByteSize(oocX.ByteSize()), *memBudget,
+			dataset.FormatByteSize(int64(peakHeap)), oocX.Blocks(), loads, hits, evictions)
+	} else {
+		res, err = eng.Train(context.Background(), prob, opts)
 		if err != nil {
 			return err
 		}
-		m = res.Model
-		summary = fmt.Sprintf("converged=%v iterations=%d cache-hit=%.1f%% cache-evictions=%d SVs=%d",
-			res.Converged, res.Iterations,
-			100*float64(res.CacheHits)/float64(max(1, res.CacheHits+res.CacheMisses)),
-			res.CacheEvictions,
-			m.NumSV())
-	case "dc":
-		cfg := dcsvm.Config{
-			Kernel: kp, C: *c, Eps: *eps, Heuristic: h,
-			Clusters: *dcClusters, Levels: *dcLevels, Seed: *seed,
-			KernelSpace: *dcKernelSpace,
-			SubSolver:   *dcSubSolver, P: *p, Workers: *workers,
-			PolishFull: *dcPolishFull,
-			Checkpoint: ckptW, CheckpointEvery: *ckptEvery, CheckpointSeed: *seed,
-			SubFaults: faults, SubFaultCluster: *crashCluster,
-		}
-		if resumeSt != nil {
-			cfg.ResumeAlpha = resumeSt.Alpha
-		}
-		if !*dcPolish {
-			cfg.PolishMaxIter = 100
-		}
-		var st *dcsvm.Stats
-		m, st, err = dcsvm.Train(x, y, cfg)
-		if err != nil {
+	}
+	m := res.Model
+	summary += res.Summary
+	if *tracePath != "" && res.Trace != nil {
+		if err := res.Trace.SaveJSON(*tracePath); err != nil {
 			return err
 		}
-		var subIters int64
-		for _, l := range st.Levels {
-			for _, it := range l.SubIterations {
-				subIters += it
-			}
-		}
-		summary = fmt.Sprintf("levels=%d coalesced-SVs=%d sub-iterations=%d polish-iterations=%d polish-converged=%v SVs=%d (%.1f%% of samples)",
-			len(st.Levels), st.CoalescedSVs, subIters, st.PolishIterations,
-			st.PolishConverged, st.SVCount, 100*float64(st.SVCount)/float64(x.Rows()))
-	case "linear":
-		cfg := linear.Config{
-			Variant: linVar, C: *c, Eps: *eps,
-			MaxEpochs: *linEpochs, Seed: *seed,
-			DisableShrink: *linNoShrnk,
-		}
+	}
+	if *calibrate {
 		if oocX != nil {
-			// Out-of-core: same solver, row access served from the spill
-			// file's LRU. Training is deterministic in (data, seed), so the
-			// model is byte-identical to the in-memory path.
-			peak := startHeapSampler()
-			linRes, err = linear.Train(oocX, y, cfg)
-			peakHeap := peak()
-			if err != nil {
-				return err
-			}
-			loads, hits, evictions := oocX.Stats()
-			summary = fmt.Sprintf("stream: data=%s budget=%s peak-heap=%s blocks=%d loads=%d hits=%d evictions=%d\n  ",
-				dataset.FormatByteSize(oocX.ByteSize()), *memBudget,
-				dataset.FormatByteSize(int64(peakHeap)), oocX.Blocks(), loads, hits, evictions)
-		} else {
-			linRes, err = linear.Train(x, y, cfg)
-			if err != nil {
-				return err
-			}
+			return fmt.Errorf("probability calibration: -probability needs in-memory data; drop -stream")
 		}
-		m = linRes.Model
-		summary += fmt.Sprintf("variant=%s converged=%v epochs=%d updates=%d gap=%.3e nnz(w)=%d/%d",
-			linVar, linRes.Converged, linRes.Epochs, linRes.Updates, linRes.Gap,
-			linRes.NNZ(), len(linRes.W))
+		splits, err := cv.StratifiedKFold(y, 3, *seed)
+		if err != nil {
+			return fmt.Errorf("probability calibration: %w", err)
+		}
+		// CV folds are different datasets: they must train cold and
+		// must not write into the main run's checkpoint directory.
+		fopts := opts
+		fopts.Checkpoint, fopts.InitialAlpha = nil, nil
+		fopts.CheckpointFingerprint = 0
+		fopts.RecordTrace = false
+		fopts.Faults = mpi.FaultPlan{}
+		sig, err := probability.CalibrateCV(x, y, splits, func(fx *sparse.Matrix, fy []float64) (*model.Model, error) {
+			fres, err := eng.Train(context.Background(), solver.Problem{X: fx, Y: fy, Kernel: kp}, fopts)
+			if err != nil {
+				return nil, err
+			}
+			return fres.Model, nil
+		})
+		if err != nil {
+			return fmt.Errorf("probability calibration: %w", err)
+		}
+		m.ProbA, m.ProbB, m.HasProb = sig.A, sig.B, true
+		summary += fmt.Sprintf(" probA=%.4f probB=%.4f", sig.A, sig.B)
 	}
 
 	if err := m.Save(*modelPath); err != nil {
@@ -470,13 +457,13 @@ func run() error {
 				return fmt.Errorf("verify: %w", err)
 			}
 		}
-		if linRes != nil {
+		if !caps.Has(solver.CapKernels) {
 			loss := oracle.HingeLoss
 			if linVar == linear.MISO {
 				loss = oracle.SquaredHingeLoss
 			}
 			prob := oracle.LinearProblem{X: x, Y: y, C: *c, Eps: *eps, Loss: loss}
-			rep, err := prob.VerifyLinearModel(m, linRes.Alpha)
+			rep, err := prob.VerifyLinearModel(m, res.Alpha)
 			if err != nil {
 				return fmt.Errorf("verify: %w", err)
 			}
@@ -499,6 +486,18 @@ func run() error {
 	return nil
 }
 
+// printSolvers writes the registry table: one row per engine with its
+// declared capabilities and its when-to-use line. CI's engines job and the
+// README's "Choosing a solver" table are generated from this output.
+func printSolvers(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tCAPABILITIES\tWHEN TO USE")
+	for _, e := range solver.Engines() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", e.Name(), e.Capabilities(), solver.Describe(e))
+	}
+	return tw.Flush()
+}
+
 // taskModeOpts carries the flag values the task-variant path consumes.
 type taskModeOpts struct {
 	task, dataPath, modelPath, updateFrom string
@@ -514,8 +513,10 @@ type taskModeOpts struct {
 }
 
 // runTaskMode trains (or incrementally updates) an epsilon-SVR, one-class,
-// or — for updates — classifier model through internal/tasks, and routes
-// -verify through the matching oracle verifier.
+// or — for updates — classifier model. Cold task trains route through the
+// registered "tasks" engine; incremental updates go through tasks.Update,
+// which recovers the warm start from the base model. -verify routes through
+// the matching oracle verifier.
 func runTaskMode(o taskModeOpts) error {
 	// Labels are loaded verbatim: SVR targets are continuous and must not be
 	// clamped to +/-1 the way the classifier reader does.
@@ -533,22 +534,19 @@ func runTaskMode(o taskModeOpts) error {
 		kp = kernel.FromSigma2(o.sigma2)
 	}
 
-	cfg := tasks.Config{
-		Kernel: kp, Eps: o.eps, Workers: o.workers,
-		CacheBytes: 1 << 30, Shrinking: true, SecondOrder: true,
-	}
+	var ckptW *ckpt.Writer
 	if o.ckptDir != "" {
 		w, err := ckpt.NewWriter(o.ckptDir)
 		if err != nil {
 			return err
 		}
 		w.SetMinInterval(o.ckptMinGap)
-		cfg.Checkpoint = w
-		cfg.CheckpointEvery = o.ckptEvery
+		ckptW = w
 	}
 
 	start := time.Now()
-	var res *tasks.Result
+	var m *model.Model
+	var summary string
 	switch {
 	case o.updateFrom != "":
 		base, err := model.Load(o.updateFrom)
@@ -571,24 +569,39 @@ func runTaskMode(o taskModeOpts) error {
 				}
 			}
 		}
-		res, err = tasks.Update(base, x, labels, cfg)
+		res, err := tasks.Update(base, x, labels, tasks.Config{
+			Kernel: kp, Eps: o.eps, Workers: o.workers,
+			CacheBytes: 1 << 30, Shrinking: true, SecondOrder: true,
+			Checkpoint: ckptW, CheckpointEvery: o.ckptEvery,
+		})
 		if err != nil {
 			return err
 		}
-	case o.task == "svr":
-		res, err = tasks.TrainSVR(x, labels, o.c, o.svrEpsilon, cfg, nil)
+		m = res.Model
+		summary = fmt.Sprintf("converged=%v iterations=%d objective=%.6g SVs=%d (%.1f%% of samples)",
+			res.Converged, res.Iterations, res.Objective,
+			m.NumSV(), 100*float64(m.NumSV())/float64(x.Rows()))
+
+	case o.task == "svr", o.task == "oneclass":
+		taskKind := model.TaskSVR
+		if o.task == "oneclass" {
+			taskKind = model.TaskOneClass
+		}
+		res, err := solver.Train(context.Background(), "tasks",
+			solver.Problem{X: x, Y: labels, Kernel: kp, Task: taskKind},
+			solver.Options{
+				C: o.c, Eps: o.eps, Workers: o.workers,
+				Checkpoint: ckptW, CheckpointEvery: o.ckptEvery,
+				Task: solver.TaskOptions{Epsilon: o.svrEpsilon, Nu: o.nu},
+			})
 		if err != nil {
 			return err
 		}
-	case o.task == "oneclass":
-		res, err = tasks.TrainOneClass(x, o.nu, cfg, nil)
-		if err != nil {
-			return err
-		}
+		m, summary = res.Model, res.Summary
+
 	default:
 		return fmt.Errorf("unknown -task %q (valid: svr, oneclass)", o.task)
 	}
-	m := res.Model
 
 	if err := m.Save(o.modelPath); err != nil {
 		return err
@@ -598,10 +611,8 @@ func runTaskMode(o taskModeOpts) error {
 		if o.updateFrom != "" {
 			mode = "updated"
 		}
-		fmt.Printf("%s %s on %d samples in %v: converged=%v iterations=%d objective=%.6g SVs=%d (%.1f%% of samples)\n",
-			mode, m.TaskKind(), x.Rows(), time.Since(start).Round(time.Millisecond),
-			res.Converged, res.Iterations, res.Objective,
-			m.NumSV(), 100*float64(m.NumSV())/float64(x.Rows()))
+		fmt.Printf("%s %s on %d samples in %v: %s\n",
+			mode, m.TaskKind(), x.Rows(), time.Since(start).Round(time.Millisecond), summary)
 		fmt.Printf("model written to %s\n", o.modelPath)
 	}
 
@@ -653,15 +664,6 @@ func loadData(dataPath, dsName string, dsScale float64, seed int64) (*sparse.Mat
 	default:
 		return nil, nil, 0, 0, fmt.Errorf("one of -data or -dataset is required")
 	}
-}
-
-func validSolver(name string) bool {
-	for _, s := range solverNames {
-		if name == s {
-			return true
-		}
-	}
-	return false
 }
 
 // startHeapSampler records the peak live heap until the returned stop

@@ -5,14 +5,18 @@
 //	svmtune -data train.libsvm -folds 10
 //	svmtune -dataset a9a -dataset-scale 0.05 -folds 5 -c-grid 1,10,32 -sigma2-grid 4,25,64
 //
-// With -solver linear the grid collapses to C only: the linear fast path
-// has no kernel width, so sigma^2, heuristic and rank knobs are skipped
-// (and -sigma2-grid is rejected to keep the search honest):
+// The -solver flag accepts any registered classifier engine (svmtrain
+// -list-solvers prints the table); each fold trains through the selected
+// engine. With a linear-only engine the grid collapses to C only: the
+// linear fast path has no kernel width, so sigma^2 is skipped and
+// -sigma2-grid is rejected by the shared capability check to keep the
+// search honest:
 //
 //	svmtune -dataset rcv1 -dataset-scale 0.05 -solver linear -c-grid 0.5,1,4,10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +29,10 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/linear"
 	"repro/internal/model"
+	"repro/internal/solver"
 	"repro/internal/sparse"
+
+	_ "repro/internal/engines"
 )
 
 func main() {
@@ -44,34 +51,39 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "fold-shuffle seed")
 		cGrid      = flag.String("c-grid", "", "comma-separated C values (default libsvm-style 2^-1..2^7)")
 		sigma2Grid = flag.String("sigma2-grid", "", "comma-separated sigma^2 values (default 2^-1..2^7)")
-		p          = flag.Int("p", 4, "ranks per training run")
-		heuristic  = flag.String("heuristic", "Multi5pc", "shrinking heuristic (core solver)")
+		p          = flag.Int("p", 4, "ranks per training run (distributed engines)")
+		heuristic  = flag.String("heuristic", "Multi5pc", "shrinking heuristic (heuristic-capable engines)")
 		eps        = flag.Float64("eps", 1e-3, "tolerance epsilon")
-		solverSel  = flag.String("solver", "core", `engine per training run: "core" (kernel, tunes C and sigma^2) or "linear" (explicit-w fast path, tunes C only)`)
-		linVariant = flag.String("linear-variant", "dcd", `linear solver variant: "dcd" or "miso" (-solver linear only)`)
+		solverSel  = flag.String("solver", "core", "registered solver engine per training run; kernel engines tune (C, sigma^2), linear-only engines tune C (svmtrain -list-solvers prints the table)")
+		linVariant = flag.String("linear-variant", "dcd", `linear solver variant: "dcd" or "miso" (linear-only engines)`)
+		linEpochs  = flag.Int("linear-epochs", 0, "linear solver epoch cap per fold (0 = variant default)")
 	)
 	flag.Parse()
 
-	// Resolve enum flags before loading data so a typo fails fast.
-	if *solverSel != "core" && *solverSel != "linear" {
-		return fmt.Errorf("unknown -solver %q (valid: core, linear)", *solverSel)
+	// Resolve the engine and validate engine-conditional flags before
+	// loading data so a typo fails fast. The rule table is shared with
+	// svmtrain, so the two commands cannot drift apart.
+	eng, err := solver.Lookup(*solverSel)
+	if err != nil {
+		return fmt.Errorf("unknown -solver %q (registered: %s)", *solverSel, strings.Join(solver.Names(), ", "))
 	}
-	isLinear := *solverSel == "linear"
+	caps := eng.Capabilities()
+	if !caps.Has(solver.CapClassify) {
+		return fmt.Errorf("-solver %s does not train binary classifiers (classifier engines: %s)",
+			eng.Name(), strings.Join(solver.WithCapability(solver.CapClassify), ", "))
+	}
+	if err := solver.CheckFlags(eng, flagWasSet, solver.TuneFlagRules); err != nil {
+		return err
+	}
+	isLinear := !caps.Has(solver.CapKernels)
 	var linVar linear.Variant
-	var h core.Heuristic
-	var err error
-	if isLinear {
+	if caps.Has(solver.CapLinearVariants) {
 		if linVar, err = linear.ParseVariant(*linVariant); err != nil {
 			return err
 		}
-		if *sigma2Grid != "" {
-			return fmt.Errorf("-solver linear has no kernel width; drop -sigma2-grid")
-		}
-	} else {
-		if flagWasSet("linear-variant") {
-			return fmt.Errorf("-linear-variant requires -solver linear")
-		}
-		if h, err = core.HeuristicByName(*heuristic); err != nil {
+	}
+	if caps.Has(solver.CapHeuristics) {
+		if _, err := core.HeuristicByName(*heuristic); err != nil {
 			return err
 		}
 	}
@@ -108,7 +120,7 @@ func run() error {
 		return fmt.Errorf("sigma2-grid: %w", err)
 	}
 	if isLinear {
-		// The linear fast path has a one-dimensional grid: C. A single
+		// A linear-only engine has a one-dimensional grid: C. A single
 		// placeholder sigma^2 keeps GridSearch's shape without multiplying
 		// the fold count by kernel widths that do not exist.
 		sigma2s = []float64{0}
@@ -117,27 +129,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Per grid point the fold trainer is the selected engine with that
+	// point's (C, sigma^2); capability-gated options follow the same rules
+	// as svmtrain, so a tuned setting reproduces exactly under svmtrain.
+	opts := solver.Options{
+		Eps: *eps, Seed: *seed,
+		Linear: solver.LinearOptions{Variant: *linVariant, MaxEpochs: *linEpochs},
+	}
+	if caps.Has(solver.CapHeuristics) {
+		opts.Heuristic = *heuristic
+	}
+	if caps.Has(solver.CapDistributed) {
+		opts.P = *p
+	}
 	trainAt := func(c, s2 float64) cv.TrainFunc {
 		return func(fx *sparse.Matrix, fy []float64) (*model.Model, error) {
-			if isLinear {
-				res, err := linear.Train(fx, fy, linear.Config{
-					Variant: linVar, C: c, Eps: *eps, Seed: *seed,
-				})
-				if err != nil {
-					return nil, err
-				}
-				return res.Model, nil
+			popts := opts
+			popts.C = c
+			kp := kernel.Params{Type: kernel.Linear}
+			if !isLinear {
+				kp = kernel.FromSigma2(s2)
 			}
-			m, _, err := core.TrainParallel(fx, fy, *p, core.Config{
-				Kernel: kernel.FromSigma2(s2), C: c, Eps: *eps, Heuristic: h,
-			})
-			return m, err
+			res, err := eng.Train(context.Background(), solver.Problem{X: fx, Y: fy, Kernel: kp}, popts)
+			if err != nil {
+				return nil, err
+			}
+			return res.Model, nil
 		}
 	}
 
 	if isLinear {
-		fmt.Printf("grid search (-solver linear, variant %s): %d C values, %d-fold CV on %d samples\n",
-			linVar, len(cs), *folds, x.Rows())
+		fmt.Printf("grid search (-solver %s, variant %s): %d C values, %d-fold CV on %d samples\n",
+			eng.Name(), linVar, len(cs), *folds, x.Rows())
 	} else {
 		fmt.Printf("grid search: %d C values x %d sigma^2 values, %d-fold CV on %d samples\n",
 			len(cs), len(sigma2s), *folds, x.Rows())
@@ -155,8 +179,8 @@ func run() error {
 			}
 			fmt.Printf("%10g %12.2f %10.2f%s\n", pt.C, pt.Result.Mean, pt.Result.Std, marker)
 		}
-		fmt.Printf("\nselected: -solver linear -c %g (CV accuracy %.2f%% +/- %.2f)\n",
-			best.C, best.Result.Mean, best.Result.Std)
+		fmt.Printf("\nselected: -solver %s -c %g (CV accuracy %.2f%% +/- %.2f)\n",
+			eng.Name(), best.C, best.Result.Mean, best.Result.Std)
 		return nil
 	}
 	fmt.Printf("%10s %10s %12s %10s\n", "C", "sigma^2", "mean-acc(%)", "std")

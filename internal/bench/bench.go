@@ -150,6 +150,7 @@ func Experiments() []Experiment {
 		{ID: "ablation-synceps", Title: "Ablation: first gradient sync at 20*eps vs 2*eps", Run: RunAblationSyncEps},
 		{ID: "ablation-cache", Title: "Ablation: kernel-cache budget in the libsvm-enhanced baseline", Run: RunAblationCache},
 		{ID: "ablation-wss", Title: "Ablation: working-set selection (max violating pair vs second-order)", Run: RunAblationWSS},
+		{ID: "wss", Title: "Registry engines: smo (first-order) vs smo2 (second-order WSS), measured", Run: RunWSS},
 		{ID: "dcsvm", Title: "Divide-and-conquer training vs exact full solves (wall-clock)", Run: RunDCSVM},
 		{ID: "linear", Title: "Linear fast path (explicit w) vs kernel engines on sparse text", Run: RunLinear},
 		{ID: "stream", Title: "Out-of-core streaming load vs in-memory (peak heap, parity)", Run: RunStream},

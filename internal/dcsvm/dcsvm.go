@@ -19,9 +19,11 @@
 package dcsvm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/smo"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 )
 
@@ -59,10 +62,12 @@ type Config struct {
 	// sub-problems are solved) instead of Euclidean input space.
 	KernelSpace bool
 
-	// SubSolver selects the engine for finest-level sub-solves: "core"
-	// (the paper's distributed solver, the default) or "smo" (the
-	// libsvm-enhanced baseline). Coarser levels and the polish always use
-	// smo, whose warm start consumes the coalesced alphas.
+	// SubSolver names the registered engine for finest-level sub-solves;
+	// "" means "core" (the paper's distributed solver). Any non-composite
+	// registered classifier with kernel support qualifies — "core", "smo",
+	// "smo2", and future registrations — resolved through the solver
+	// registry. Coarser levels and the polish always use smo, whose warm
+	// start consumes the coalesced alphas.
 	SubSolver string
 	// DisableLinearFastPath turns off the automatic routing of cold
 	// (no-warm-start) linear-kernel sub-solves through internal/linear's
@@ -274,10 +279,8 @@ func Train(x *sparse.Matrix, y []float64, cfg Config) (*model.Model, *Stats, err
 	if !hasPos || !hasNeg {
 		return nil, nil, errors.New("dcsvm: training set must contain both classes")
 	}
-	switch cfg.SubSolver {
-	case "", "core", "smo":
-	default:
-		return nil, nil, fmt.Errorf("dcsvm: unknown sub-solver %q (want core or smo)", cfg.SubSolver)
+	if _, err := subEngine(cfg.SubSolver); err != nil {
+		return nil, nil, err
 	}
 	cfg = cfg.withDefaults()
 
@@ -560,8 +563,14 @@ func solveCluster(px *sparse.Matrix, py, pa []float64, cluster, lo, hi, level in
 		return r
 	}
 	yv := py[lo:hi]
+	sub, err := subEngine(cfg.SubSolver)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	subCaps := sub.Capabilities()
 	if cfg.Kernel.Type == kernel.Linear && !cfg.DisableLinearFastPath && pa == nil &&
-		!(cfg.SubFaults.Enabled() && cfg.SubSolver == "core") {
+		!(cfg.SubFaults.Enabled() && subCaps.Has(solver.CapFaultInject)) {
 		// Linear kernels admit a much cheaper sub-solve: dual coordinate
 		// descent on the primal weight vector (internal/linear), touching
 		// no kernel rows at all. Only cold solves route here — a warm
@@ -570,26 +579,37 @@ func solveCluster(px *sparse.Matrix, py, pa []float64, cluster, lo, hi, level in
 		r.model, r.iters, r.svs, r.err = solveLinearCluster(view, yv, cluster, level, cfg)
 		return r
 	}
-	if level == 0 && cfg.SubSolver == "core" {
-		p := cfg.P
-		if p > size {
-			p = size
+	if level == 0 && pa == nil {
+		// Cold finest-level sub-solve: the configured engine, resolved
+		// through the solver registry, with only the options its
+		// capabilities declare. For "core" and "smo" this reproduces the
+		// historical configs bit-for-bit; any other registered kernel
+		// classifier (smo2, future engines) slots in the same way.
+		sopts := solver.Options{
+			C: cfg.C, Eps: cfg.Eps,
+			Workers: 1, CacheBytes: cfg.CacheBytes, MaxIter: cfg.SubMaxIter,
 		}
-		var opts mpi.Options
-		if cfg.SubFaults.Enabled() && cluster == cfg.SubFaultCluster {
+		if subCaps.Has(solver.CapHeuristics) {
+			sopts.Heuristic = cfg.Heuristic.Name
+		}
+		if subCaps.Has(solver.CapDistributed) {
+			p := cfg.P
+			if p > size {
+				p = size
+			}
+			sopts.P = p
+		}
+		if cfg.SubFaults.Enabled() && cluster == cfg.SubFaultCluster && subCaps.Has(solver.CapFaultInject) {
 			// Crash-recovery testing: inject the fault plan into exactly one
 			// cluster's distributed sub-solve.
-			opts.Faults = cfg.SubFaults
+			sopts.Faults = cfg.SubFaults
 		}
-		m, cst, _, err := core.TrainParallelOpts(view, yv, p, core.Config{
-			Kernel: cfg.Kernel, C: cfg.C, Eps: cfg.Eps,
-			Heuristic: cfg.Heuristic, MaxIter: cfg.SubMaxIter,
-		}, opts)
+		sres, err := sub.Train(context.Background(), solver.Problem{X: view, Y: yv, Kernel: cfg.Kernel}, sopts)
 		if err != nil {
 			r.err = err
 			return r
 		}
-		r.model, r.iters, r.svs, r.evals = m, cst.Iterations, cst.SVCount, cst.KernelEvals
+		r.model, r.iters, r.svs, r.evals = sres.Model, sres.Iterations, sres.Model.NumSV(), sres.KernelEvals
 		return r
 	}
 	sc := smo.Config{
@@ -740,6 +760,33 @@ func balanceAlpha(alpha, y []float64, c float64) []float64 {
 		}
 	}
 	return out
+}
+
+// subEngine resolves the configured sub-solver name ("" means core)
+// through the solver registry and checks it can actually sub-solve a
+// cluster: a non-composite kernel classifier. The composite exclusion
+// prevents dc-inside-dc recursion through the registry.
+func subEngine(name string) (solver.Engine, error) {
+	if name == "" {
+		name = "core"
+	}
+	e, err := solver.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("dcsvm: sub-solver: %w", err)
+	}
+	caps := e.Capabilities()
+	if caps.Has(solver.CapComposite) || !caps.Has(solver.CapClassify|solver.CapKernels) {
+		var ok []string
+		for _, cand := range solver.Engines() {
+			cc := cand.Capabilities()
+			if !cc.Has(solver.CapComposite) && cc.Has(solver.CapClassify|solver.CapKernels) {
+				ok = append(ok, cand.Name())
+			}
+		}
+		return nil, fmt.Errorf("dcsvm: engine %q cannot sub-solve clusters — need a non-composite kernel classifier (have: %s)",
+			name, strings.Join(ok, ", "))
+	}
+	return e, nil
 }
 
 func permute(v []float64, order []int) []float64 {

@@ -1,0 +1,79 @@
+package dcsvm
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+func init() { solver.Register(dcEngine{}) }
+
+// dcEngine adapts divide-and-conquer training to solver.Engine. It is the
+// registry's one composite engine: finest-level sub-problems are solved by
+// another registered engine (Options.DC.SubSolver), so it cannot itself be
+// a sub-solver.
+type dcEngine struct{}
+
+func (dcEngine) Name() string { return "dc" }
+
+func (dcEngine) Capabilities() solver.Capability {
+	return solver.CapClassify | solver.CapKernels | solver.CapWarmStart |
+		solver.CapCheckpoint | solver.CapHeuristics | solver.CapDistributed |
+		solver.CapFaultInject | solver.CapComposite
+}
+
+func (dcEngine) Describe() string {
+	return "divide-and-conquer: k-means clusters solved in parallel by a sub-engine, coalesced, then polish; for datasets a single solve can't reach"
+}
+
+func (e dcEngine) Train(ctx context.Context, prob solver.Problem, opts solver.Options) (solver.Result, error) {
+	if err := solver.Validate(e, prob, opts); err != nil {
+		return solver.Result{}, err
+	}
+	x, ok := prob.X.(*sparse.Matrix)
+	if !ok {
+		return solver.Result{}, fmt.Errorf("dcsvm: engine needs an in-memory matrix, got %T", prob.X)
+	}
+	cfg := Config{
+		Kernel: prob.Kernel, C: opts.C, Eps: opts.Eps,
+		Clusters: opts.DC.Clusters, Levels: opts.DC.Levels, Seed: opts.Seed,
+		KernelSpace: opts.DC.KernelSpace,
+		SubSolver:   opts.DC.SubSolver, P: opts.P, Workers: opts.Workers,
+		CacheBytes: opts.CacheBytes, SubMaxIter: opts.MaxIter,
+		PolishMaxIter: opts.DC.PolishMaxIter, PolishFull: opts.DC.PolishFull,
+		DisableLinearFastPath: opts.DC.DisableLinearFastPath,
+		Checkpoint:            opts.Checkpoint, CheckpointEvery: opts.CheckpointEvery,
+		CheckpointSeed: opts.Seed,
+		ResumeAlpha:    opts.InitialAlpha,
+		SubFaults:      opts.Faults, SubFaultCluster: opts.DC.SubFaultCluster,
+	}
+	if opts.Heuristic != "" {
+		h, err := core.HeuristicByName(opts.Heuristic)
+		if err != nil {
+			return solver.Result{}, err
+		}
+		cfg.Heuristic = h
+	}
+	m, st, err := Train(x, prob.Y, cfg)
+	if err != nil {
+		return solver.Result{}, err
+	}
+	var subIters int64
+	for _, l := range st.Levels {
+		for _, it := range l.SubIterations {
+			subIters += it
+		}
+	}
+	return solver.Result{
+		Model:       m,
+		Iterations:  subIters + st.PolishIterations,
+		KernelEvals: st.KernelEvals,
+		Converged:   st.PolishConverged,
+		Summary: fmt.Sprintf("levels=%d coalesced-SVs=%d sub-iterations=%d polish-iterations=%d polish-converged=%v SVs=%d (%.1f%% of samples)",
+			len(st.Levels), st.CoalescedSVs, subIters, st.PolishIterations,
+			st.PolishConverged, st.SVCount, 100*float64(st.SVCount)/float64(x.Rows())),
+	}, nil
+}

@@ -1,0 +1,21 @@
+// Package engines registers every training engine into the solver
+// registry. It exists purely for its import side effects: binaries and
+// tests that want the full registry blank-import it once instead of
+// importing each engine package.
+//
+//	import _ "repro/internal/engines"
+//
+// Packages that already import an engine directly (dcsvm imports core, smo
+// and linear for its sub-solves) get those registrations for free; this
+// aggregator is for registry-generic consumers — the CLIs, the
+// differential oracle's tests, the engines CI job — that must not hard-code
+// an engine list.
+package engines
+
+import (
+	_ "repro/internal/core"
+	_ "repro/internal/dcsvm"
+	_ "repro/internal/linear"
+	_ "repro/internal/smo"
+	_ "repro/internal/tasks"
+)

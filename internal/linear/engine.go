@@ -1,0 +1,58 @@
+package linear
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/solver"
+)
+
+func init() { solver.Register(linearEngine{}) }
+
+// linearEngine adapts the explicit-w fast path to solver.Engine. It is the
+// only engine that streams: any sparse.RowMatrix (including the out-of-core
+// spill-backed OOCMatrix) trains row-at-a-time without whole-dataset
+// residency.
+type linearEngine struct{}
+
+func (linearEngine) Name() string { return "linear" }
+
+func (linearEngine) Capabilities() solver.Capability {
+	return solver.CapClassify | solver.CapStreaming | solver.CapLinearVariants
+}
+
+func (linearEngine) Describe() string {
+	return "explicit-w linear fast path (dcd hinge / miso squared hinge): no kernel matrix, streams out-of-core data"
+}
+
+func (e linearEngine) Train(ctx context.Context, prob solver.Problem, opts solver.Options) (solver.Result, error) {
+	if err := solver.Validate(e, prob, opts); err != nil {
+		return solver.Result{}, err
+	}
+	variant := DCD
+	if opts.Linear.Variant != "" {
+		var err error
+		if variant, err = ParseVariant(opts.Linear.Variant); err != nil {
+			return solver.Result{}, err
+		}
+	}
+	cfg := Config{
+		Variant: variant, C: opts.C, Eps: opts.Eps,
+		MaxEpochs: opts.Linear.MaxEpochs, Seed: opts.Seed,
+		DisableShrink: opts.Linear.NoShrink,
+	}
+	res, err := Train(prob.X, prob.Y, cfg)
+	if err != nil {
+		return solver.Result{}, err
+	}
+	return solver.Result{
+		Model:      res.Model,
+		Alpha:      res.Alpha,
+		Iterations: int64(res.Updates),
+		Converged:  res.Converged,
+		Objective:  res.Dual,
+		Summary: fmt.Sprintf("variant=%s converged=%v epochs=%d updates=%d gap=%.3e nnz(w)=%d/%d",
+			variant, res.Converged, res.Epochs, res.Updates, res.Gap,
+			res.NNZ(), len(res.W)),
+	}, nil
+}

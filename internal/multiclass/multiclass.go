@@ -11,15 +11,19 @@
 package multiclass
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/kernel"
 	"repro/internal/model"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 )
 
@@ -59,6 +63,31 @@ func Train(x *sparse.Matrix, y []float64, p int, cfg core.Config) (*Model, error
 	return TrainWith(x, y, func(bx *sparse.Matrix, by []float64) (*model.Model, error) {
 		m, _, err := core.TrainParallel(bx, by, p, cfg)
 		return m, err
+	})
+}
+
+// TrainEngine fits the one-vs-rest ensemble through a registered solver
+// engine: the engine is resolved by name once, and each per-class binary
+// subproblem trains through solver.Engine.Train with the shared options.
+// Engine.Train is required to be concurrency-safe, so the goroutine-per-
+// class fan-out of TrainWith applies unchanged. The engine must be a
+// classifier (CapClassify); kernel compatibility and option support are
+// checked by the engine itself before any data-proportional work.
+func TrainEngine(x *sparse.Matrix, y []float64, engine string, kp kernel.Params, opts solver.Options) (*Model, error) {
+	eng, err := solver.Lookup(engine)
+	if err != nil {
+		return nil, err
+	}
+	if !eng.Capabilities().Has(solver.CapClassify) {
+		return nil, fmt.Errorf("multiclass: engine %s does not train classifiers (classifier engines: %s)",
+			engine, strings.Join(solver.WithCapability(solver.CapClassify), ", "))
+	}
+	return TrainWith(x, y, func(bx *sparse.Matrix, by []float64) (*model.Model, error) {
+		res, err := eng.Train(context.Background(), solver.Problem{X: bx, Y: by, Kernel: kp}, opts)
+		if err != nil {
+			return nil, err
+		}
+		return res.Model, nil
 	})
 }
 

@@ -1,15 +1,23 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/dcsvm"
 	"repro/internal/kernel"
 	"repro/internal/model"
-	"repro/internal/smo"
+	"repro/internal/solver"
 	"repro/internal/sparse"
+
+	// RunDifferential iterates the solver registry; importing the kernel
+	// classification engines here keeps the harness self-sufficient — a
+	// caller gets the full sweep without blank-importing engines itself.
+	// (The aggregator package repro/internal/engines cannot be used: it
+	// pulls in tasks, which imports this package.)
+	_ "repro/internal/dcsvm"
+	_ "repro/internal/smo"
 )
 
 // DiffOptions configures a differential run: which hyper-parameters every
@@ -124,22 +132,29 @@ func highObjective(d *DiffReport) float64 {
 	return math.NaN()
 }
 
-// RunDifferential trains every engine on the same problem and verifies
-// each result with the oracle:
+// RunDifferential trains every registered classification engine on the
+// same problem and verifies each result with the oracle. The run list is
+// the solver registry, not a hard-coded engine enumeration; per engine the
+// coverage follows its declared capabilities:
 //
-//   - the distributed core solver under every requested Table II heuristic
-//     (the no-shrink Original is the reference the paper's exactness claim
-//     compares against);
-//   - the libsvm-enhanced smo baseline, cold-started and then warm-started
-//     from its own recovered solution (the warm path must not move the
-//     optimum);
-//   - divide-and-conquer training with the polish run to convergence.
+//   - heuristic-capable engines (the distributed core solver) run under
+//     every requested Table II heuristic (the no-shrink Original is the
+//     reference the paper's exactness claim compares against);
+//   - composite engines (divide-and-conquer) run once with the full-problem
+//     polish, which is what makes them comparable at eps-exactness;
+//   - every other kernel classifier (the smo baseline, the second-order
+//     smo2) runs cold-started and then — when warm-start capable —
+//     warm-started from its own recovered solution (the warm path must not
+//     move the optimum).
 //
-// Training errors abort the run; verification failures do not — they are
-// recorded in the reports so Check can present every engine's state.
+// Linear-only and task-only engines are skipped: they do not solve this
+// kernel classification QP. Training errors abort the run; verification
+// failures do not — they are recorded in the reports so Check can present
+// every engine's state.
 func RunDifferential(x *sparse.Matrix, y []float64, opts DiffOptions) (*DiffReport, error) {
 	opts = opts.withDefaults()
 	prob := Problem{X: x, Y: y, Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps, Workers: opts.Workers}
+	sprob := solver.Problem{X: x, Y: y, Kernel: opts.Kernel}
 
 	d := &DiffReport{SpreadTolerance: GapTolerance(x.Rows(), opts.C, opts.Eps)}
 	add := func(name string, m *model.Model) error {
@@ -151,58 +166,65 @@ func RunDifferential(x *sparse.Matrix, y []float64, opts DiffOptions) (*DiffRepo
 		return nil
 	}
 
-	for _, h := range opts.Heuristics {
-		m, _, err := core.TrainParallel(x, y, opts.P, core.Config{
-			Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps, Heuristic: h,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("oracle: core/%s: %w", h.Name, err)
+	for _, eng := range solver.Engines() {
+		caps := eng.Capabilities()
+		if !caps.Has(solver.CapClassify | solver.CapKernels) {
+			continue
 		}
-		if err := add("core/"+h.Name, m); err != nil {
-			return nil, err
+		switch {
+		case caps.Has(solver.CapComposite):
+			res, err := eng.Train(context.Background(), sprob, solver.Options{
+				C: opts.C, Eps: opts.Eps, Seed: opts.Seed,
+				DC: solver.DCOptions{Clusters: opts.DCClusters, SubSolver: "smo", PolishFull: true},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s: %w", eng.Name(), err)
+			}
+			if err := add(eng.Name(), res.Model); err != nil {
+				return nil, err
+			}
+
+		case caps.Has(solver.CapHeuristics):
+			for _, h := range opts.Heuristics {
+				res, err := eng.Train(context.Background(), sprob, solver.Options{
+					C: opts.C, Eps: opts.Eps, P: opts.P, Heuristic: h.Name,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("oracle: %s/%s: %w", eng.Name(), h.Name, err)
+				}
+				if err := add(eng.Name()+"/"+h.Name, res.Model); err != nil {
+					return nil, err
+				}
+			}
+
+		default:
+			cold, err := eng.Train(context.Background(), sprob, solver.Options{
+				C: opts.C, Eps: opts.Eps, CacheBytes: opts.CacheBytes,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s-cold: %w", eng.Name(), err)
+			}
+			if err := add(eng.Name()+"-cold", cold.Model); err != nil {
+				return nil, err
+			}
+			if !caps.Has(solver.CapWarmStart) {
+				continue
+			}
+			warmAlpha, err := RecoverAlpha(x, y, cold.Model)
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s-warm start: %w", eng.Name(), err)
+			}
+			warm, err := eng.Train(context.Background(), sprob, solver.Options{
+				C: opts.C, Eps: opts.Eps, CacheBytes: opts.CacheBytes,
+				InitialAlpha: warmAlpha,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("oracle: %s-warm: %w", eng.Name(), err)
+			}
+			if err := add(eng.Name()+"-warm", warm.Model); err != nil {
+				return nil, err
+			}
 		}
-	}
-
-	cold, err := smo.Train(x, y, smo.Config{
-		Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps,
-		CacheBytes: opts.CacheBytes, Shrinking: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("oracle: smo-cold: %w", err)
-	}
-	if err := add("smo-cold", cold.Model); err != nil {
-		return nil, err
-	}
-
-	warmAlpha, err := RecoverAlpha(x, y, cold.Model)
-	if err != nil {
-		return nil, fmt.Errorf("oracle: smo-warm start: %w", err)
-	}
-	warm, err := smo.Train(x, y, smo.Config{
-		Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps,
-		CacheBytes: opts.CacheBytes, Shrinking: true,
-		InitialAlpha: warmAlpha,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("oracle: smo-warm: %w", err)
-	}
-	if err := add("smo-warm", warm.Model); err != nil {
-		return nil, err
-	}
-
-	// PolishFull is what makes dcsvm comparable at eps-exactness: the
-	// default union-only polish leaves out-of-union samples unchecked, so
-	// only the full-problem refinement converges to the shared optimum.
-	dcm, _, err := dcsvm.Train(x, y, dcsvm.Config{
-		Kernel: opts.Kernel, C: opts.C, Eps: opts.Eps,
-		Clusters: opts.DCClusters, Seed: opts.Seed, SubSolver: "smo",
-		PolishFull: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("oracle: dcsvm: %w", err)
-	}
-	if err := add("dcsvm", dcm); err != nil {
-		return nil, err
 	}
 
 	low, high := math.Inf(1), math.Inf(-1)

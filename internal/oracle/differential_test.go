@@ -40,8 +40,9 @@ func TestRunDifferentialAllHeuristics(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// All Table II rows plus smo-cold, smo-warm, dcsvm.
-			if want := len(core.Table2()) + 3; len(d.Results) != want {
+			// All Table II rows plus cold and warm runs of both smo
+			// variants and the composite dc engine.
+			if want := len(core.Table2()) + 5; len(d.Results) != want {
 				t.Fatalf("got %d engine results, want %d", len(d.Results), want)
 			}
 			seen := make(map[string]bool, len(d.Results))
@@ -53,7 +54,7 @@ func TestRunDifferentialAllHeuristics(t *testing.T) {
 					t.Errorf("missing engine core/%s", h.Name)
 				}
 			}
-			for _, name := range []string{"smo-cold", "smo-warm", "dcsvm"} {
+			for _, name := range []string{"smo-cold", "smo-warm", "smo2-cold", "smo2-warm", "dc"} {
 				if !seen[name] {
 					t.Errorf("missing engine %s", name)
 				}

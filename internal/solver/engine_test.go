@@ -1,0 +1,155 @@
+package solver
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fakeEngine is a registry test double; Train is never reached.
+type fakeEngine struct {
+	name string
+	caps Capability
+}
+
+func (e fakeEngine) Name() string             { return e.name }
+func (e fakeEngine) Capabilities() Capability { return e.caps }
+func (e fakeEngine) Train(context.Context, Problem, Options) (Result, error) {
+	return Result{}, nil
+}
+
+func TestRegisterRejectsDuplicatesAndEmptyNames(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		f()
+	}
+	Register(fakeEngine{name: "test-dup", caps: CapClassify})
+	t.Cleanup(func() { unregister("test-dup") })
+	mustPanic("duplicate", func() { Register(fakeEngine{name: "test-dup"}) })
+	mustPanic("empty", func() { Register(fakeEngine{name: ""}) })
+}
+
+func TestLookupErrorListsRegisteredEngines(t *testing.T) {
+	Register(fakeEngine{name: "test-listed", caps: CapClassify})
+	t.Cleanup(func() { unregister("test-listed") })
+	_, err := Lookup("no-such-engine")
+	if err == nil {
+		t.Fatal("Lookup accepted an unknown name")
+	}
+	if !strings.Contains(err.Error(), "test-listed") {
+		t.Errorf("lookup error %q does not list registered engines", err)
+	}
+}
+
+func TestEnginesSortedAndNamesMatch(t *testing.T) {
+	engines := Engines()
+	names := Names()
+	if len(engines) != len(names) {
+		t.Fatalf("Engines()=%d entries, Names()=%d", len(engines), len(names))
+	}
+	for i, e := range engines {
+		if e.Name() != names[i] {
+			t.Errorf("position %d: engine %q vs name %q", i, e.Name(), names[i])
+		}
+		if i > 0 && names[i-1] >= names[i] {
+			t.Errorf("names not strictly sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestCapabilityString(t *testing.T) {
+	caps := CapClassify | CapKernels | CapWarmStart
+	s := caps.String()
+	for _, want := range []string{"classify", "kernels", "warm-start"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "streaming") {
+		t.Errorf("String() = %q includes an unset bit", s)
+	}
+	if got := Capability(0).String(); got != "none" {
+		t.Errorf("zero capability String() = %q, want none", got)
+	}
+}
+
+func TestCapabilitySupportsTask(t *testing.T) {
+	cases := []struct {
+		caps Capability
+		task model.Task
+		want bool
+	}{
+		{CapClassify, model.TaskCSVC, true},
+		{CapClassify, model.TaskSVR, false},
+		{CapSVR | CapOneClass, model.TaskSVR, true},
+		{CapSVR | CapOneClass, model.TaskOneClass, true},
+		{CapSVR | CapOneClass, model.TaskCSVC, false},
+	}
+	for _, tc := range cases {
+		if got := tc.caps.SupportsTask(tc.task); got != tc.want {
+			t.Errorf("caps %s SupportsTask(%s) = %v, want %v", tc.caps, tc.task, got, tc.want)
+		}
+	}
+}
+
+func TestWithCapabilityFilters(t *testing.T) {
+	Register(fakeEngine{name: "test-streamer", caps: CapClassify | CapStreaming})
+	Register(fakeEngine{name: "test-plain", caps: CapClassify})
+	t.Cleanup(func() { unregister("test-streamer"); unregister("test-plain") })
+	got := WithCapability(CapStreaming)
+	seen := map[string]bool{}
+	for _, n := range got {
+		seen[n] = true
+	}
+	if !seen["test-streamer"] || seen["test-plain"] {
+		t.Errorf("WithCapability(streaming) = %v", got)
+	}
+}
+
+// TestCheckFlagsTable drives the shared train-rule table: every rule must
+// reject an engine lacking its capability with an error naming the flag,
+// the engine, and at least one capable alternative — and accept an engine
+// that has the bit.
+func TestCheckFlagsTable(t *testing.T) {
+	for _, rule := range TrainFlagRules {
+		wasSet := func(name string) bool { return name == rule.Flag }
+		lacking := fakeEngine{name: "test-lacking"}
+		err := CheckFlags(lacking, wasSet, TrainFlagRules)
+		if err == nil {
+			t.Errorf("rule %s: engine without %s accepted", rule.Flag, rule.Need)
+			continue
+		}
+		for _, want := range []string{"-" + rule.Flag, "test-lacking"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("rule %s: error %q missing %q", rule.Flag, err, want)
+			}
+		}
+		capable := fakeEngine{name: "test-capable", caps: rule.Need}
+		if err := CheckFlags(capable, wasSet, TrainFlagRules); err != nil {
+			t.Errorf("rule %s: capable engine rejected: %v", rule.Flag, err)
+		}
+	}
+	// Unset flags never trip rules regardless of capabilities.
+	if err := CheckFlags(fakeEngine{name: "test-none"}, func(string) bool { return false }, TrainFlagRules); err != nil {
+		t.Errorf("no flags set but CheckFlags = %v", err)
+	}
+}
+
+// TestCheckFlagsNamesCapableEngines: the error must point at real engines
+// that would accept the flag, so the user's next command is in the message.
+func TestCheckFlagsNamesCapableEngines(t *testing.T) {
+	Register(fakeEngine{name: "test-ckpt", caps: CapCheckpoint})
+	t.Cleanup(func() { unregister("test-ckpt") })
+	err := CheckFlags(fakeEngine{name: "test-bare"},
+		func(name string) bool { return name == "checkpoint-dir" }, TrainFlagRules)
+	if err == nil || !strings.Contains(err.Error(), "test-ckpt") {
+		t.Errorf("error %v does not name the capable engine", err)
+	}
+}

@@ -1,0 +1,76 @@
+package tasks
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+func init() { solver.Register(taskEngine{}) }
+
+// taskEngine adapts the task-variant formulations to solver.Engine,
+// dispatching on Problem.Task: epsilon-SVR (Problem.Y holds continuous
+// targets, Options.Task.Epsilon the tube) or one-class (Problem.Y ignored,
+// Options.Task.Nu the outlier bound). Options.InitialAlpha warm-starts in
+// the task's own dual coordinates: the collapsed signed coefficients
+// d_i = alpha_i - alpha*_i for SVR, the per-row alpha for one-class.
+type taskEngine struct{}
+
+func (taskEngine) Name() string { return "tasks" }
+
+func (taskEngine) Capabilities() solver.Capability {
+	return solver.CapSVR | solver.CapOneClass | solver.CapKernels |
+		solver.CapWarmStart | solver.CapCheckpoint
+}
+
+func (taskEngine) Describe() string {
+	return "task variants over the generalized SMO engine: epsilon-SVR regression and nu one-class anomaly detection"
+}
+
+func (e taskEngine) Train(ctx context.Context, prob solver.Problem, opts solver.Options) (solver.Result, error) {
+	if err := solver.Validate(e, prob, opts); err != nil {
+		return solver.Result{}, err
+	}
+	x, ok := prob.X.(*sparse.Matrix)
+	if !ok {
+		return solver.Result{}, fmt.Errorf("tasks: engine needs an in-memory matrix, got %T", prob.X)
+	}
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 1 << 30
+	}
+	cfg := Config{
+		Kernel: prob.Kernel, Eps: opts.Eps, Workers: opts.Workers,
+		CacheBytes: cacheBytes, Shrinking: true, SecondOrder: true,
+		MaxIter:    opts.MaxIter,
+		Checkpoint: opts.Checkpoint, CheckpointEvery: opts.CheckpointEvery,
+		CheckpointFingerprint: opts.CheckpointFingerprint,
+	}
+	var res *Result
+	var err error
+	switch prob.Task {
+	case model.TaskSVR:
+		res, err = TrainSVR(x, prob.Y, opts.C, opts.Task.Epsilon, cfg, opts.InitialAlpha)
+	case model.TaskOneClass:
+		res, err = TrainOneClass(x, opts.Task.Nu, cfg, opts.InitialAlpha)
+	default:
+		return solver.Result{}, fmt.Errorf("tasks: engine does not train task %q", prob.Task)
+	}
+	if err != nil {
+		return solver.Result{}, err
+	}
+	m := res.Model
+	return solver.Result{
+		Model:       m,
+		Iterations:  res.Iterations,
+		KernelEvals: res.KernelEvals,
+		Converged:   res.Converged,
+		Objective:   res.Objective,
+		Summary: fmt.Sprintf("converged=%v iterations=%d objective=%.6g SVs=%d (%.1f%% of samples)",
+			res.Converged, res.Iterations, res.Objective,
+			m.NumSV(), 100*float64(m.NumSV())/float64(x.Rows())),
+	}, nil
+}
